@@ -1,0 +1,6 @@
+"""Make the shared harness importable from every benchmark module."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

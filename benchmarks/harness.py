@@ -1,0 +1,134 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every figure/table benchmark builds on the same memoized runs (the Unsafe
+baseline of Figure 7 is also the denominator of Figure 9, etc.), so runs
+are cached process-wide via ``repro.sim.runner.GLOBAL_CACHE``.
+
+Scale knobs (environment variables):
+
+* ``REPRO_SPEC17_INSNS``   — instructions per SPEC17 trace (default 4000)
+* ``REPRO_PARALLEL_INSNS`` — instructions per thread, SPLASH2/PARSEC
+  (default 1000)
+* ``REPRO_PARALLEL_THREADS`` — thread count for parallel suites (default 8,
+  as in the paper)
+
+The defaults regenerate every figure in a few minutes; raising them
+tightens the statistics at proportional cost.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List
+
+from repro import (DefenseKind, PinningMode, SystemConfig, ThreatModel,
+                   parallel_workload, scheme_grid, spec17_workload)
+from repro.analysis.breakdown import CONDITION_LEVELS
+from repro.sim.results import SimResult
+from repro.sim.runner import GLOBAL_CACHE
+from repro.workloads import PARALLEL_NAMES, SPEC17_NAMES
+
+SPEC17_INSNS = int(os.environ.get("REPRO_SPEC17_INSNS", "4000"))
+PARALLEL_INSNS = int(os.environ.get("REPRO_PARALLEL_INSNS", "1000"))
+PARALLEL_THREADS = int(os.environ.get("REPRO_PARALLEL_THREADS", "8"))
+SEED = 1
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scheme presentation order of Figures 7/8/9.
+SCHEMES = ("fence", "dom", "stt")
+#: Extension presentation order of Figures 7/8 (Table 3).
+EXTENSIONS = ("comp", "lp", "ep", "spectre")
+
+
+@lru_cache(maxsize=None)
+def spec_workload(name: str):
+    return spec17_workload(name, instructions=SPEC17_INSNS, seed=SEED)
+
+
+@lru_cache(maxsize=None)
+def par_workload(name: str):
+    return parallel_workload(name, num_threads=PARALLEL_THREADS,
+                             instructions_per_thread=PARALLEL_INSNS,
+                             seed=SEED)
+
+
+def base_config(suite: str) -> SystemConfig:
+    cores = 1 if suite == "spec17" else PARALLEL_THREADS
+    return SystemConfig(num_cores=cores)
+
+
+def workload_for(app: str, suite: str):
+    return spec_workload(app) if suite == "spec17" else par_workload(app)
+
+
+def suite_apps(suite: str) -> List[str]:
+    return list(SPEC17_NAMES) if suite == "spec17" \
+        else list(PARALLEL_NAMES)
+
+
+def run(config: SystemConfig, app: str, suite: str) -> SimResult:
+    return GLOBAL_CACHE.run(config, workload_for(app, suite),
+                            key=f"{suite}:{app}")
+
+
+def unsafe_run(app: str, suite: str) -> SimResult:
+    return run(base_config(suite), app, suite)
+
+
+def grid_normalized_cpis(app: str, suite: str) -> Dict[str, float]:
+    """Normalized CPI of every (scheme x extension) cell for one app."""
+    base = base_config(suite)
+    unsafe = unsafe_run(app, suite)
+    table = {}
+    for label, (defense, threat, pinning) in scheme_grid().items():
+        result = run(base.with_defense(defense, threat, pinning), app,
+                     suite)
+        table[label] = result.cycles / unsafe.cycles
+    return table
+
+
+def level_cycles(app: str, suite: str, defense: DefenseKind,
+                 ) -> Dict[str, int]:
+    """Cycle counts at the four VP-condition levels plus Unsafe (Fig 1/9).
+
+    The CTRL and MCV levels coincide with the Spectre and Comp grid cells,
+    so they come from the shared cache for free.
+    """
+    base = base_config(suite)
+    cycles = {"unsafe": unsafe_run(app, suite).cycles}
+    for label, level in CONDITION_LEVELS:
+        config = base.with_defense(defense, level, PinningMode.NONE)
+        cycles[label] = run(config, app, suite).cycles
+    return cycles
+
+
+def pinned_result(app: str, suite: str, defense: DefenseKind,
+                  mode: PinningMode, **pin_overrides) -> SimResult:
+    """One (defense + pinning) run, optionally with modified Pinned Loads
+    hardware parameters (CST geometry, W_d, CPT size, TSO rule...)."""
+    from dataclasses import replace
+    base = base_config(suite)
+    config = base.with_defense(defense, ThreatModel.MCV, mode)
+    if pin_overrides:
+        config = replace(config,
+                         pinning=replace(config.pinning, **pin_overrides))
+    return run(config, app, suite)
+
+
+def write_result(filename: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n")
+    print()
+    print(text)
+
+
+#: Representative subset for the parameter-sweep studies (one branchy app,
+#: one miss-heavy app, one pointer chaser, one FP app), keeping sweep cost
+#: bounded while spanning the workload axes.
+SPEC_SWEEP_APPS = ["leela_r", "bwaves_r", "mcf_r", "namd_r"]
+PARALLEL_SWEEP_APPS = ["fft", "raytrace", "radiosity", "x264"]

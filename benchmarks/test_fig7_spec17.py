@@ -1,0 +1,40 @@
+"""Figure 7: normalized CPI of SPEC17 programs.
+
+Three panels (Fence, DOM, STT), each with the Comp / LP / EP / Spectre
+configurations of Table 3, per application plus the geometric mean — the
+rows/series of the paper's Figure 7.
+"""
+
+import pytest
+
+from harness import (EXTENSIONS, SCHEMES, grid_normalized_cpis, suite_apps,
+                     write_result)
+from repro.analysis.tables import format_normalized_cpi_table
+from repro.common.stats import geomean
+
+SUITE = "spec17"
+
+
+def _panel(scheme: str):
+    apps = suite_apps(SUITE)
+    data = {}
+    for app in apps:
+        cpis = grid_normalized_cpis(app, SUITE)
+        data[app] = {ext: cpis[f"{scheme}-{ext}"] for ext in EXTENSIONS}
+    return apps, data
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig7_panel(benchmark, scheme):
+    apps, data = benchmark.pedantic(_panel, args=(scheme,), rounds=1,
+                                    iterations=1)
+    table = format_normalized_cpi_table(
+        f"Figure 7 ({scheme.upper()}): SPEC17 normalized CPI vs Unsafe",
+        apps, list(EXTENSIONS), data)
+    write_result(f"fig7_{scheme}.txt", table)
+    # shape checks mirroring the paper's headline observations
+    means = {ext: geomean([data[app][ext] for app in apps])
+             for ext in EXTENSIONS}
+    assert means["comp"] >= means["lp"] >= means["ep"] * 0.99
+    assert means["ep"] >= means["spectre"] * 0.95
+    assert means["comp"] > 1.0

@@ -1,0 +1,44 @@
+"""Figure 8: normalized CPI of SPLASH2 and PARSEC programs (8 threads).
+
+Same grid as Figure 7, on the multithreaded suites, where pinning also has
+to survive coherence traffic: invalidation deferral, write retries, and
+CPT inserts all occur here.
+"""
+
+import pytest
+
+from harness import (EXTENSIONS, SCHEMES, grid_normalized_cpis, suite_apps,
+                     write_result)
+from repro.analysis.tables import format_normalized_cpi_table
+from repro.common.stats import geomean
+
+SUITE = "parallel"
+
+
+def _panel(scheme: str):
+    apps = suite_apps(SUITE)
+    data = {}
+    for app in apps:
+        cpis = grid_normalized_cpis(app, SUITE)
+        data[app] = {ext: cpis[f"{scheme}-{ext}"] for ext in EXTENSIONS}
+    return apps, data
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig8_panel(benchmark, scheme):
+    apps, data = benchmark.pedantic(_panel, args=(scheme,), rounds=1,
+                                    iterations=1)
+    table = format_normalized_cpi_table(
+        f"Figure 8 ({scheme.upper()}): SPLASH2+PARSEC normalized CPI "
+        f"vs Unsafe", apps, list(EXTENSIONS), data)
+    write_result(f"fig8_{scheme}.txt", table)
+    means = {ext: geomean([data[app][ext] for app in apps])
+             for ext in EXTENSIONS}
+    assert means["comp"] >= means["lp"] >= means["ep"] * 0.98
+    assert means["ep"] >= means["spectre"] * 0.95
+    if scheme == "fence":
+        # the paper's lu_ncb callout: high miss rate but fast branches, so
+        # Spectre is cheap, Comp is terrible, and EP recovers most of it
+        lu = data["lu_ncb"]
+        assert lu["comp"] > 1.5
+        assert lu["ep"] < (lu["comp"] + 1) / 2 + 0.35

@@ -1,0 +1,54 @@
+"""§9.2.3: smaller directory/LLC partition size (W_d = 1 vs 2).
+
+The paper shrinks the per-core reserved directory/LLC lines per set from 2
+to 1 while keeping the CST size, and finds every scheme's EP overhead gets
+slightly worse — so W_d = 2 is the right default.
+"""
+
+import pytest
+
+from harness import (SCHEMES, SPEC_SWEEP_APPS, PARALLEL_SWEEP_APPS,
+                     pinned_result, unsafe_run, write_result)
+from repro.analysis.tables import format_stat_table
+from repro.common.params import DefenseKind, PinningMode
+from repro.common.stats import geomean
+
+DEFENSES = {"fence": DefenseKind.FENCE, "dom": DefenseKind.DOM,
+            "stt": DefenseKind.STT}
+
+
+def _overhead(scheme, suite, apps, w_d):
+    cpis = []
+    for app in apps:
+        result = pinned_result(app, suite, DEFENSES[scheme],
+                               PinningMode.EARLY, w_d=w_d,
+                               dir_cst_records=w_d)
+        cpis.append(result.cycles / unsafe_run(app, suite).cycles)
+    return (geomean(cpis) - 1.0) * 100.0
+
+
+def _sweep():
+    rows = {}
+    for scheme in SCHEMES:
+        for suite, apps in (("spec17", SPEC_SWEEP_APPS),
+                            ("parallel", PARALLEL_SWEEP_APPS)):
+            rows[f"{scheme} {suite}"] = {
+                "wd2_overhead_pct": _overhead(scheme, suite, apps, w_d=2),
+                "wd1_overhead_pct": _overhead(scheme, suite, apps, w_d=1),
+            }
+    return rows
+
+
+def test_sec923_wd_partition(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_stat_table(
+        "Sec 9.2.3: EP overhead with W_d = 2 vs W_d = 1", rows)
+    write_result("sec923_wd.txt", table)
+    for label, row in rows.items():
+        # W_d = 1 is never better than W_d = 2 (small tolerance for noise)
+        assert row["wd1_overhead_pct"] >= row["wd2_overhead_pct"] - 3.0, \
+            label
+    # and it is strictly worse somewhere (the paper's conclusion that
+    # keeping W_d = 2 matters)
+    assert any(row["wd1_overhead_pct"] > row["wd2_overhead_pct"] + 0.5
+               for row in rows.values())

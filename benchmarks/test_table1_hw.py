@@ -1,0 +1,40 @@
+"""Table 1 / §9.2.4: storage, area, energy, and leakage of the CSTs.
+
+Regenerates the CST hardware rows of Table 1 from the analytical SRAM
+model (CACTI-lite).  Storage must match the paper exactly (444 B / 370 B);
+area, read energy, and leakage must land on the published values within
+the model's calibration tolerance.
+"""
+
+import pytest
+
+from harness import write_result
+from repro.analysis.area import cst_hardware_table
+from repro.analysis.tables import format_stat_table
+
+PAPER = {
+    "l1_cst": {"bytes": 444, "area_mm2": 0.0008, "read_energy_pj": 0.6,
+               "leakage_mw": 0.17},
+    "dir_cst": {"bytes": 370, "area_mm2": 0.0005, "read_energy_pj": 0.4,
+                "leakage_mw": 0.17},
+}
+
+
+def test_table1_cst_hardware(benchmark):
+    table = benchmark.pedantic(cst_hardware_table, rounds=1, iterations=1)
+    rows = {}
+    for name in ("l1_cst", "dir_cst"):
+        rows[name] = dict(table[name])
+        rows[f"{name}_paper"] = dict(PAPER[name])
+    text = format_stat_table(
+        "Table 1: CST hardware cost at 22nm (model vs paper)", rows)
+    write_result("table1_hw.txt", text)
+    assert table["l1_cst"]["bytes"] == 444
+    assert table["dir_cst"]["bytes"] == 370
+    for name in ("l1_cst", "dir_cst"):
+        assert table[name]["read_energy_pj"] \
+            == pytest.approx(PAPER[name]["read_energy_pj"], rel=0.15)
+        assert table[name]["leakage_mw"] \
+            == pytest.approx(PAPER[name]["leakage_mw"], rel=0.25)
+        assert table[name]["area_mm2"] \
+            == pytest.approx(PAPER[name]["area_mm2"], abs=4e-4)

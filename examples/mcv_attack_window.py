@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The attack surface Pinned Loads closes: MCV-induced squash-and-replay.
+
+MCV-based speculative attacks (Ragab et al. 2021, Skarlatos et al. 2021 —
+the paper's §10) need a victim load that *performs* speculatively and is
+then squashed by a coherence invalidation from an attacker core, replaying
+the victim's transient window at will.
+
+This example builds that scenario directly: a victim core that keeps
+reading a shared line deep in its speculative window, and an attacker core
+that keeps writing it.  It then shows, per configuration:
+
+* Unsafe          — the victim suffers repeated MCV squashes (the replay
+                    channel exists);
+* Fence-Comp      — no MCV squashes, but at a large cost;
+* Fence-Comp + EP — still zero MCV squashes (pinned loads defer the
+                    attacker's invalidations), at much lower cost.
+
+Run:  python examples/mcv_attack_window.py
+"""
+
+from repro import (DefenseKind, MicroOp, OpClass, PinningMode, SystemConfig,
+                   ThreatModel, Trace, Workload, run_simulation)
+
+SHARED_LINE = 0x2000
+
+
+def victim_trace(rounds: int) -> Trace:
+    """A victim that reads the shared secret-dependent line while older
+    work (an FP chain and an older load) keeps it speculative."""
+    uops = []
+    index = 0
+    for _ in range(rounds):
+        uops.append(MicroOp(index, OpClass.FP_ALU,
+                            deps=(index - 1,) if index else ()))
+        index += 1
+        # an older load that resolves slowly keeps the window open
+        uops.append(MicroOp(index, OpClass.LOAD, addr=0x100 + 0x40 * index,
+                            deps=(index - 1,)))
+        index += 1
+        # the victim access: performed speculatively, squashable on
+        # invalidation of SHARED_LINE
+        uops.append(MicroOp(index, OpClass.LOAD, addr=SHARED_LINE))
+        index += 1
+    return Trace(uops, name="victim")
+
+
+def attacker_trace(rounds: int) -> Trace:
+    """An attacker that repeatedly writes the shared line, firing
+    invalidations at the victim."""
+    uops = []
+    for i in range(rounds):
+        if i % 2 == 0:
+            uops.append(MicroOp(i, OpClass.STORE, addr=SHARED_LINE))
+        else:
+            uops.append(MicroOp(i, OpClass.INT_ALU))
+    return Trace(uops, name="attacker")
+
+
+def run(config: SystemConfig, workload: Workload):
+    result = run_simulation(config, workload)
+    squashes = result.squash_summary()
+    return result.cycles, squashes["mcv_inval"] + squashes["mcv_evict"]
+
+
+def main() -> None:
+    workload = Workload([attacker_trace(60), victim_trace(40)],
+                        name="mcv-attack")
+    base = SystemConfig(num_cores=2)
+
+    configs = [
+        ("unsafe", base),
+        ("fence-comp", base.with_defense(DefenseKind.FENCE,
+                                         ThreatModel.MCV)),
+        ("fence-comp + EP", base.with_defense(DefenseKind.FENCE,
+                                              ThreatModel.MCV,
+                                              PinningMode.EARLY)),
+    ]
+    print(f"{'configuration':<18}{'cycles':>9}{'MCV squashes':>14}")
+    baseline = None
+    for label, config in configs:
+        cycles, mcv = run(config, workload)
+        baseline = baseline or cycles
+        print(f"{label:<18}{cycles:>9}{mcv:>14.0f}"
+              f"   ({cycles / baseline:.2f}x unsafe)")
+
+    print("\nUnder Unsafe, the attacker can squash-and-replay the victim's")
+    print("speculative window (nonzero MCV squashes).  The Comprehensive")
+    print("defense closes the channel; Early Pinning keeps it closed while")
+    print("recovering most of the lost performance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for environments whose pip lacks PEP 660 support."""
+
+from setuptools import setup
+
+setup()

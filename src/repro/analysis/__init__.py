@@ -1,0 +1,15 @@
+"""Evaluation analysis: overhead breakdowns, tables, hardware cost model."""
+
+from repro.analysis.area import SramEstimate, cst_hardware_table, estimate_sram
+from repro.analysis.breakdown import (CONDITION_LEVELS, geomean_stack,
+                                      stacked_overheads, vp_condition_cycles)
+from repro.analysis.tables import (format_breakdown_table,
+                                   format_normalized_cpi_table,
+                                   format_stat_table, geomean_overhead_pct)
+
+__all__ = [
+    "CONDITION_LEVELS", "SramEstimate", "cst_hardware_table",
+    "estimate_sram", "format_breakdown_table",
+    "format_normalized_cpi_table", "format_stat_table", "geomean_stack",
+    "geomean_overhead_pct", "stacked_overheads", "vp_condition_cycles",
+]

@@ -1,0 +1,80 @@
+"""CACTI-lite: an analytical small-SRAM area/energy/leakage model.
+
+The paper reports Table 1 hardware numbers for the CSTs using CACTI 7.0 at
+22 nm: the L1 CST (444 B) costs 0.0008 mm^2, 0.6 pJ/read, 0.17 mW leakage;
+the directory/LLC CST (370 B) costs 0.0005 mm^2, 0.4 pJ/read, 0.17 mW.  A
+full CACTI is out of scope; for arrays this small the standard analytical
+decomposition (bit-cell array + per-bit periphery + fixed decoder/sense
+overhead) reproduces the reported magnitudes, with coefficients calibrated
+at 22 nm against those two published points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# 22 nm calibration constants
+_BITCELL_UM2 = 0.110          # 6T SRAM cell, dense variant
+_PERIPHERY_FACTOR = 1.05      # per-bit wordline/bitline overhead
+_FIXED_AREA_UM2 = 80.0        # decoder + sense amps + comparators
+_READ_PJ_PER_WORD_BIT = 7.54e-4   # sense/mux energy per bit read out
+_READ_PJ_PER_SQRT_BIT = 6.33e-3   # bitline precharge energy ~ array edge
+_LEAK_UW_PER_BIT = 0.040      # bit-cell + periphery leakage
+_LEAK_FIXED_UW = 30.0         # always-on periphery
+
+
+@dataclass(frozen=True)
+class SramEstimate:
+    """Estimated physical cost of one small SRAM structure."""
+
+    bits: int
+    area_mm2: float
+    read_energy_pj: float
+    leakage_mw: float
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+
+def estimate_sram(total_bits: int, word_bits: int) -> SramEstimate:
+    """Estimate area, read energy, and leakage for a small SRAM array.
+
+    ``word_bits`` is the number of bits driven per access (one record for a
+    CST read).  Valid for the sub-kilobyte structures Pinned Loads adds;
+    large-cache estimation needs a real CACTI.
+    """
+    if total_bits <= 0 or word_bits <= 0:
+        raise ValueError("bit counts must be positive")
+    area_um2 = (total_bits * _BITCELL_UM2 * _PERIPHERY_FACTOR
+                + _FIXED_AREA_UM2)
+    read_pj = (_READ_PJ_PER_WORD_BIT * word_bits
+               + _READ_PJ_PER_SQRT_BIT * math.sqrt(total_bits))
+    leak_mw = (_LEAK_UW_PER_BIT * total_bits + _LEAK_FIXED_UW) / 1000.0
+    return SramEstimate(bits=total_bits, area_mm2=area_um2 / 1e6,
+                        read_energy_pj=read_pj, leakage_mw=leak_mw)
+
+
+def cst_hardware_table(l1_entries: int = 12, l1_records: int = 8,
+                       dir_entries: int = 40, dir_records: int = 2,
+                       lq_id_tag_bits: int = 24,
+                       addr_hash_bits: int = 12) -> dict:
+    """The Table 1 CST rows: storage, area, read energy, leakage.
+
+    Returns a dict with ``l1_cst`` and ``dir_cst`` sub-dicts, each holding
+    ``bytes``, ``area_mm2``, ``read_energy_pj``, and ``leakage_mw``.
+    """
+    record_bits = addr_hash_bits + lq_id_tag_bits + 1
+    table = {}
+    for name, entries, records in (("l1_cst", l1_entries, l1_records),
+                                   ("dir_cst", dir_entries, dir_records)):
+        bits = entries * records * record_bits
+        estimate = estimate_sram(bits, word_bits=record_bits * records)
+        table[name] = {
+            "bytes": bits / 8.0,
+            "area_mm2": estimate.area_mm2,
+            "read_energy_pj": estimate.read_energy_pj,
+            "leakage_mw": estimate.leakage_mw,
+        }
+    return table

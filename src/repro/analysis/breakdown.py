@@ -1,0 +1,79 @@
+"""Execution-overhead breakdown by VP condition (Figures 1 and 9).
+
+The paper's methodology: take a defense scheme and remove its protection of
+a load at four successively later times — when no squash is possible due to
+(i) branches, (ii) +aliasing, (iii) +exceptions, (iv) +MCVs.  The stacked
+difference between successive environments attributes overhead to each
+squash source.  We reproduce this by running the scheme at the four
+cumulative ``ThreatModel`` levels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
+                                 ThreatModel)
+from repro.common.stats import geomean
+from repro.sim.results import SimResult
+
+#: Figure 1 legend order, bottom of the stack first.
+CONDITION_LEVELS = [
+    ("ctrl", ThreatModel.CTRL),
+    ("alias", ThreatModel.ALIAS),
+    ("exception", ThreatModel.EXCEPT),
+    ("mcv", ThreatModel.MCV),
+]
+
+
+def vp_condition_cycles(base_config: SystemConfig, defense: DefenseKind,
+                        run: Callable[[SystemConfig], SimResult],
+                        ) -> Dict[str, int]:
+    """Run ``defense`` at each cumulative VP-condition level plus Unsafe.
+
+    ``run`` maps a config to a result (typically a cache-backed runner
+    closure over one workload).  Returns cycles per level, including an
+    ``unsafe`` entry.
+    """
+    cycles: Dict[str, int] = {}
+    cycles["unsafe"] = run(base_config.with_defense(DefenseKind.UNSAFE,
+                                                    ThreatModel.MCV)).cycles
+    for label, level in CONDITION_LEVELS:
+        config = base_config.with_defense(defense, level, PinningMode.NONE)
+        cycles[label] = run(config).cycles
+    return cycles
+
+
+def stacked_overheads(cycles: Mapping[str, int]) -> Dict[str, float]:
+    """Per-condition overhead contributions (%) from level cycle counts.
+
+    The contribution of a condition is the overhead *added* by also waiting
+    for it: e.g. ``mcv = overhead(MCV level) - overhead(EXCEPT level)``.
+    Contributions are clamped at zero — level runs are independent
+    simulations, so tiny negative diffs can appear from scheduling noise.
+    """
+    unsafe = cycles["unsafe"]
+    if unsafe <= 0:
+        raise ValueError("unsafe cycle count must be positive")
+    overheads = {label: (cycles[label] - unsafe) / unsafe * 100.0
+                 for label, _ in CONDITION_LEVELS}
+    stack: Dict[str, float] = {}
+    previous = 0.0
+    for label, _ in CONDITION_LEVELS:
+        stack[label] = max(overheads[label] - previous, 0.0)
+        previous = overheads[label]
+    return stack
+
+
+def geomean_stack(per_app_cycles: List[Mapping[str, int]],
+                  ) -> Dict[str, float]:
+    """Suite-level Figure 1 bar: stack of the geomean normalized CPIs."""
+    if not per_app_cycles:
+        raise ValueError("no applications")
+    labels = [label for label, _ in CONDITION_LEVELS]
+    mean_cycles: Dict[str, float] = {}
+    for key in ["unsafe"] + labels:
+        mean_cycles[key] = geomean([app[key] / app["unsafe"]
+                                    for app in per_app_cycles])
+    # mean_cycles are now normalized CPIs (unsafe == 1.0)
+    return stacked_overheads({k: v for k, v in mean_cycles.items()})

@@ -1,0 +1,83 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+The benchmark harnesses print these so that a run of
+``pytest benchmarks/ --benchmark-only`` regenerates the same rows/series
+the paper reports (normalized CPIs per app and geomean, stacked overhead
+breakdowns, hardware-structure statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.common.stats import geomean
+
+
+def format_normalized_cpi_table(title: str, apps: Sequence[str],
+                                columns: Sequence[str],
+                                data: Mapping[str, Mapping[str, float]],
+                                ) -> str:
+    """One Figure 7/8 panel: rows = apps (+ geomean), cols = configs.
+
+    ``data[app][column]`` is the normalized CPI.
+    """
+    width = max(len(app) for app in list(apps) + ["Geo.Mean"]) + 2
+    lines = [title, "-" * len(title)]
+    header = "".join(f"{col:>10}" for col in columns)
+    lines.append(f"{'':{width}}{header}")
+    for app in apps:
+        row = "".join(f"{data[app][col]:>10.3f}" for col in columns)
+        lines.append(f"{app:{width}}{row}")
+    means = {col: geomean([data[app][col] for app in apps])
+             for col in columns}
+    row = "".join(f"{means[col]:>10.3f}" for col in columns)
+    lines.append(f"{'Geo.Mean':{width}}{row}")
+    return "\n".join(lines)
+
+
+def format_breakdown_table(title: str,
+                           stacks: Mapping[str, Mapping[str, float]],
+                           extra: Mapping[str, Mapping[str, float]] = None,
+                           ) -> str:
+    """A Figure 1/9 panel: stacked per-condition overheads (%) per group,
+    optionally followed by extra columns (e.g. LP/EP total overheads)."""
+    condition_order = ["ctrl", "alias", "exception", "mcv"]
+    lines = [title, "-" * len(title)]
+    header = "".join(f"{c:>12}" for c in condition_order) + f"{'total':>12}"
+    if extra:
+        extra_cols = sorted(next(iter(extra.values())).keys())
+        header += "".join(f"{c:>12}" for c in extra_cols)
+    else:
+        extra_cols = []
+    group_width = max(len(g) for g in stacks) + 2
+    lines.append(f"{'':{group_width}}{header}")
+    for group, stack in stacks.items():
+        total = sum(stack[c] for c in condition_order)
+        row = "".join(f"{stack[c]:>11.1f}%" for c in condition_order)
+        row += f"{total:>11.1f}%"
+        for col in extra_cols:
+            row += f"{extra[group][col]:>11.1f}%"
+        lines.append(f"{group:{group_width}}{row}")
+    return "\n".join(lines)
+
+
+def format_stat_table(title: str, rows: Mapping[str, Mapping[str, float]],
+                      float_format: str = "{:.4g}") -> str:
+    """Generic named-rows/named-columns table for the §9.2 studies."""
+    columns: List[str] = sorted({col for row in rows.values()
+                                 for col in row})
+    name_width = max(len(name) for name in rows) + 2
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'':{name_width}}"
+                 + "".join(f"{col:>16}" for col in columns))
+    for name, row in rows.items():
+        cells = "".join(
+            f"{float_format.format(row[col]) if col in row else '-':>16}"
+            for col in columns)
+        lines.append(f"{name:{name_width}}{cells}")
+    return "\n".join(lines)
+
+
+def geomean_overhead_pct(normalized_cpis: Dict[str, float]) -> float:
+    """Suite-level execution overhead (%) from per-app normalized CPIs."""
+    return (geomean(list(normalized_cpis.values())) - 1.0) * 100.0

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run``        — one workload on one configuration, printed as a row
+* ``grid``       — the Tables 2/3 grid (Comp/LP/EP/Spectre per scheme)
+* ``breakdown``  — the Figure 1 per-condition overhead stack
+* ``workloads``  — list the available benchmark profiles
+* ``hardware``   — the Table 1 CST cost rows from the analytical model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.area import cst_hardware_table
+from repro.analysis.breakdown import stacked_overheads, vp_condition_cycles
+from repro.analysis.tables import format_stat_table
+from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
+                                 ThreatModel)
+from repro.sim.runner import ExperimentCache, scheme_grid
+from repro.workloads import (PARALLEL_NAMES, SPEC17_NAMES,
+                             parallel_workload, spec17_workload)
+
+_THREAT_NAMES = {"spectre": ThreatModel.CTRL, "ctrl": ThreatModel.CTRL,
+                 "alias": ThreatModel.ALIAS, "except": ThreatModel.EXCEPT,
+                 "comp": ThreatModel.MCV, "mcv": ThreatModel.MCV}
+_PIN_NAMES = {"none": PinningMode.NONE, "lp": PinningMode.LATE,
+              "ep": PinningMode.EARLY}
+
+
+def _build_workload(name: str, instructions: int, threads: int):
+    if name in SPEC17_NAMES:
+        return SystemConfig(), spec17_workload(name,
+                                               instructions=instructions)
+    if name in PARALLEL_NAMES:
+        workload = parallel_workload(name, num_threads=threads,
+                                     instructions_per_thread=instructions)
+        return SystemConfig(num_cores=threads), workload
+    raise SystemExit(f"unknown workload {name!r}; see `repro workloads`")
+
+
+def _cmd_run(args) -> int:
+    base, workload = _build_workload(args.workload, args.instructions,
+                                     args.threads)
+    cache = ExperimentCache()
+    unsafe = cache.run(base, workload)
+    config = base.with_defense(DefenseKind(args.defense),
+                               _THREAT_NAMES[args.threat],
+                               _PIN_NAMES[args.pinning])
+    result = cache.run(config, workload)
+    norm = result.cycles / unsafe.cycles
+    print(f"workload      : {args.workload} "
+          f"({workload.total_instructions} instructions, "
+          f"{workload.num_threads} thread(s))")
+    print(f"configuration : {args.defense} / {args.threat} / "
+          f"{args.pinning}")
+    print(f"cycles        : {result.cycles} (unsafe: {unsafe.cycles})")
+    print(f"normalized CPI: {norm:.3f}  "
+          f"(overhead {100 * (norm - 1):.1f}%)")
+    squashes = result.squash_summary()
+    print(f"squashes      : branch={squashes['branch']:.0f} "
+          f"alias={squashes['alias']:.0f} "
+          f"mcv={squashes['mcv_inval'] + squashes['mcv_evict']:.0f}")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    base, workload = _build_workload(args.workload, args.instructions,
+                                     args.threads)
+    cache = ExperimentCache()
+    unsafe = cache.run(base, workload)
+    print(f"{args.workload}: normalized CPI vs Unsafe "
+          f"({workload.total_instructions} instructions)")
+    print(f"{'scheme':<8}{'comp':>9}{'lp':>9}{'ep':>9}{'spectre':>9}")
+    grid = scheme_grid()
+    for scheme in ("fence", "dom", "stt"):
+        cells = []
+        for ext in ("comp", "lp", "ep", "spectre"):
+            defense, threat, pin = grid[f"{scheme}-{ext}"]
+            result = cache.run(base.with_defense(defense, threat, pin),
+                               workload)
+            cells.append(result.cycles / unsafe.cycles)
+        print(f"{scheme:<8}" + "".join(f"{c:>9.3f}" for c in cells))
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    base, workload = _build_workload(args.workload, args.instructions,
+                                     args.threads)
+    cache = ExperimentCache()
+    cycles = vp_condition_cycles(
+        base, DefenseKind(args.defense),
+        run=lambda config: cache.run(config, workload))
+    stack = stacked_overheads(cycles)
+    print(f"{args.workload} / {args.defense}: overhead by VP condition")
+    for condition in ("ctrl", "alias", "exception", "mcv"):
+        print(f"  {condition:<10}{stack[condition]:>8.1f}%")
+    print(f"  {'total':<10}{sum(stack.values()):>8.1f}%")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    print("SPEC17 (single-threaded):")
+    for name in SPEC17_NAMES:
+        print(f"  {name}")
+    print("SPLASH2 + PARSEC (multithreaded):")
+    for name in PARALLEL_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_hardware(_args) -> int:
+    table = cst_hardware_table()
+    print(format_stat_table("Table 1: CST hardware cost at 22nm",
+                            table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pinned Loads (ASPLOS 2022) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("workload", help="benchmark name (see `workloads`)")
+        p.add_argument("--instructions", type=int, default=4000,
+                       help="instructions per thread (default 4000)")
+        p.add_argument("--threads", type=int, default=8,
+                       help="threads for parallel workloads (default 8)")
+
+    run_p = sub.add_parser("run", help="run one configuration")
+    common(run_p)
+    run_p.add_argument("--defense", default="fence",
+                       choices=[k.value for k in DefenseKind])
+    run_p.add_argument("--threat", default="comp",
+                       choices=sorted(_THREAT_NAMES))
+    run_p.add_argument("--pinning", default="none",
+                       choices=sorted(_PIN_NAMES))
+    run_p.set_defaults(func=_cmd_run)
+
+    grid_p = sub.add_parser("grid", help="the Tables 2/3 grid")
+    common(grid_p)
+    grid_p.set_defaults(func=_cmd_grid)
+
+    breakdown_p = sub.add_parser("breakdown",
+                                 help="Figure 1 per-condition stack")
+    common(breakdown_p)
+    breakdown_p.add_argument("--defense", default="fence",
+                             choices=[k.value for k in DefenseKind])
+    breakdown_p.set_defaults(func=_cmd_breakdown)
+
+    workloads_p = sub.add_parser("workloads", help="list benchmarks")
+    workloads_p.set_defaults(func=_cmd_workloads)
+
+    hardware_p = sub.add_parser("hardware", help="Table 1 CST rows")
+    hardware_p.set_defaults(func=_cmd_hardware)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Shared infrastructure: configuration, events, statistics, addressing."""
+
+from repro.common.errors import (ConfigError, DeadlockError, ReproError,
+                                 SimulationError)
+from repro.common.events import EventQueue
+from repro.common.params import (COMPREHENSIVE, LINE_BYTES, SPECTRE,
+                                 CacheParams, CoreParams, DefenseKind,
+                                 NetworkParams, PinnedLoadsParams,
+                                 PinningMode, SystemConfig, ThreatModel)
+from repro.common.stats import StatSet, geomean, normalized, overhead_pct
+
+__all__ = [
+    "ConfigError", "DeadlockError", "ReproError", "SimulationError",
+    "EventQueue", "COMPREHENSIVE", "LINE_BYTES", "SPECTRE", "CacheParams",
+    "CoreParams", "DefenseKind", "NetworkParams", "PinnedLoadsParams",
+    "PinningMode", "SystemConfig", "ThreatModel", "StatSet", "geomean",
+    "normalized", "overhead_pct",
+]

@@ -1,0 +1,25 @@
+"""Exception types used across the simulator."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Forward progress stopped: no core retired an instruction for too long."""
+
+    def __init__(self, cycle, detail=""):
+        self.cycle = cycle
+        self.detail = detail
+        message = f"no forward progress by cycle {cycle}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

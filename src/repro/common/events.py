@@ -1,0 +1,49 @@
+"""A minimal discrete-event kernel.
+
+The simulator is cycle-stepped (each core ticks every cycle), but memory
+responses, write-buffer retries, and protocol completions are scheduled as
+events on this queue and delivered at the top of the owning cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue with stable FIFO ordering for ties."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.now = 0
+
+    def schedule(self, when: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at cycle ``when`` (must not be in the past)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule at {when}, now is {self.now}")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> None:
+        self.schedule(self.now + delay, callback)
+
+    def run_until(self, cycle: int) -> None:
+        """Advance time to ``cycle`` and fire every event due by then."""
+        while self._heap and self._heap[0][0] <= cycle:
+            when, _, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        self.now = cycle
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def next_time(self):
+        """Cycle of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None

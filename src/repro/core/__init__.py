@@ -1,0 +1,9 @@
+"""The out-of-order core model: ROB, LSQ, pipeline, order tracking."""
+
+from repro.core.lsq import LoadQueue, StoreQueue
+from repro.core.pipeline import Core
+from repro.core.rob import ReorderBuffer, ROBEntry
+from repro.core.tracking import LazyMinSet
+
+__all__ = ["Core", "LazyMinSet", "LoadQueue", "ROBEntry", "ReorderBuffer",
+           "StoreQueue"]

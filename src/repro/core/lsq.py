@@ -1,0 +1,115 @@
+"""Load and store queues.
+
+The load queue is the structure snooped on invalidations/evictions for the
+TSO squash rule, and — in the chosen Pinned Loads design (§6.1.1) — where
+the Pinned bit lives.  The store queue provides line-granularity
+store-to-load forwarding and the unknown-address aliasing window.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.rob import ROBEntry
+
+
+class LoadQueue:
+    """Program-ordered queue of in-flight loads (62 entries, Table 1)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._loads: List[ROBEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._loads)
+
+    def __iter__(self) -> Iterator[ROBEntry]:
+        return iter(self._loads)
+
+    @property
+    def full(self) -> bool:
+        return len(self._loads) >= self.capacity
+
+    def allocate(self, entry: ROBEntry) -> None:
+        if self.full:
+            raise OverflowError("load queue full")
+        self._loads.append(entry)
+
+    def release_head(self, entry: ROBEntry) -> None:
+        """Remove ``entry``, which must be the oldest load (retirement)."""
+        if not self._loads or self._loads[0] is not entry:
+            raise ValueError("retiring a load that is not the LQ head")
+        self._loads.pop(0)
+
+    def squash_younger_or_equal(self, index: int) -> List[ROBEntry]:
+        """Drop every load with uop index >= ``index`` (squash path)."""
+        keep, dropped = [], []
+        for load in self._loads:
+            (dropped if load.index >= index else keep).append(load)
+        self._loads = keep
+        return dropped
+
+    def oldest(self) -> Optional[ROBEntry]:
+        return self._loads[0] if self._loads else None
+
+    def performed_unretired(self, line: int) -> List[ROBEntry]:
+        """Loads vulnerable to an invalidation/eviction of ``line``:
+        performed (or satisfied by forwarding from memory... no —
+        memory-performed only) and not yet retired."""
+        return [load for load in self._loads
+                if load.line == line and load.performed
+                and not load.forwarded]
+
+    def snoop_pinned(self, line: int) -> bool:
+        """LQ snoop used by the coherence layer: any pinned load of line?"""
+        return any(load.line == line and load.pinned for load in self._loads)
+
+
+class StoreQueue:
+    """Program-ordered queue of not-yet-retired stores (32 entries)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._stores: List[ROBEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __iter__(self) -> Iterator[ROBEntry]:
+        return iter(self._stores)
+
+    @property
+    def full(self) -> bool:
+        return len(self._stores) >= self.capacity
+
+    def allocate(self, entry: ROBEntry) -> None:
+        if self.full:
+            raise OverflowError("store queue full")
+        self._stores.append(entry)
+
+    def release_head(self, entry: ROBEntry) -> None:
+        if not self._stores or self._stores[0] is not entry:
+            raise ValueError("retiring a store that is not the SQ head")
+        self._stores.pop(0)
+
+    def squash_younger_or_equal(self, index: int) -> List[ROBEntry]:
+        keep, dropped = [], []
+        for store in self._stores:
+            (dropped if store.index >= index else keep).append(store)
+        self._stores = keep
+        return dropped
+
+    def forwarding_store(self, load: ROBEntry) -> Optional[ROBEntry]:
+        """Youngest older store to the load's line with a known address."""
+        best = None
+        for store in self._stores:
+            if store.index >= load.index:
+                break
+            if store.addr_ready and store.line == load.line:
+                best = store
+        return best
+
+    def older_unknown_address(self, load_index: int) -> bool:
+        """Any store older than ``load_index`` whose address is unknown?"""
+        return any(store.index < load_index and not store.addr_ready
+                   for store in self._stores)

@@ -1,0 +1,660 @@
+"""The out-of-order core model.
+
+Trace-driven, cycle-stepped.  Each cycle the core retires, advances the
+pinning chain, issues ready uops and eligible loads, dispatches new uops,
+and drains the write buffer.  Completion of multi-cycle work (functional
+units, memory responses) arrives through the system event queue.
+
+The core implements the coherence layer's ``CorePort``: it is the component
+snooped on invalidations/evictions (TSO squash rule and pin deferral) and
+the home of the Cannot-Pin Table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.events import EventQueue
+from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
+                                 ThreatModel)
+from repro.common.stats import StatSet
+from repro.core.lsq import LoadQueue, StoreQueue
+from repro.core.rob import ReorderBuffer, ROBEntry
+from repro.isa.trace import Trace
+from repro.isa.uops import MicroOp, OpClass
+from repro.mem.coherence import CoherentMemory, CorePort
+from repro.mem.writebuffer import WriteBuffer
+from repro.pinning.controller import PinnedLoadsController
+from repro.security import make_scheme
+from repro.security.scheme import IssueMode
+from repro.security.taint import TaintTracker
+from repro.security.threat import VPState
+
+#: L1-D read/write ports (Table 1): max loads issued to memory per cycle.
+L1_PORTS = 3
+
+
+class Core(CorePort):
+    """One out-of-order core executing one trace."""
+
+    def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
+                 mem: CoherentMemory, events: EventQueue, barriers) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.trace = trace
+        self.mem = mem
+        self.events = events
+        self.barriers = barriers
+        self.stats = StatSet()
+        cp = config.core
+        self.rob = ReorderBuffer(cp.rob_entries)
+        self.lq = LoadQueue(cp.load_queue_entries)
+        self.sq = StoreQueue(cp.store_queue_entries)
+        self.write_buffer = WriteBuffer(cp.write_buffer_entries)
+        self.vp_state = VPState()
+        self.scheme = make_scheme(config.defense, self)
+        self.taint: Optional[TaintTracker] = (
+            TaintTracker(self.rob) if config.defense is DefenseKind.STT
+            else None)
+        self.controller = PinnedLoadsController(self)
+        self._pinning = config.pinning.mode is not PinningMode.NONE
+        self.cycle = 0
+        self.done_cycle: Optional[int] = None
+        self._cursor = 0
+        self._fetch_resume = 0
+        self._retired_upto = 0
+        self._ready: List[ROBEntry] = []
+        self._waiting_loads: List[ROBEntry] = []
+        self._lp_parked: List[ROBEntry] = []
+        self._waiters: Dict[int, List[ROBEntry]] = {}
+        self._data_waiters: Dict[int, List[ROBEntry]] = {}
+        self._resolved_mispredicts: set = set()
+        self._wb_draining = False
+        mem.attach_port(core_id, self)
+
+    # ------------------------------------------------------------------
+    # CorePort (coherence layer callbacks)
+    # ------------------------------------------------------------------
+
+    def has_pinned(self, line: int) -> bool:
+        return self.controller.has_pinned(line)
+
+    def on_invalidation(self, line: int) -> None:
+        self._mcv_squash_check(line, "inval")
+
+    def on_line_evicted(self, line: int) -> None:
+        self._mcv_squash_check(line, "evict")
+
+    def cpt_insert(self, line: int, writer: int = None) -> None:
+        self.controller.cpt_insert(line, writer)
+
+    def cpt_clear(self, line: int) -> None:
+        self.controller.cpt_clear(line)
+
+    def _mcv_squash_check(self, line: int, kind: str) -> None:
+        """The TSO conservative rule: a performed, unretired load of an
+        invalidated/evicted line must be squashed — unless pinned, or it is
+        the oldest load in the ROB (aggressive implementation, §3.3)."""
+        victims = [load for load in self.lq.performed_unretired(line)
+                   if not load.pinned]
+        if not victims:
+            return
+        if self.config.pinning.aggressive_tso:
+            oldest = self.lq.oldest()
+            victims = [v for v in victims if v is not oldest]
+            if not victims:
+                return
+        first = min(victims, key=lambda v: v.index)
+        self._squash_from(first.index, f"mcv_{kind}")
+
+    # ------------------------------------------------------------------
+    # Per-cycle step
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.done_cycle is not None
+
+    def tick(self, cycle: int) -> None:
+        if self.done:
+            return
+        self.cycle = cycle
+        self._retire_stage()
+        self._update_vps()
+        self.controller.tick()
+        self._lp_retry_parked()
+        self._issue_stage()
+        self._dispatch_stage()
+        self._kick_write_buffer()
+        if (self._cursor >= len(self.trace) and self.rob.empty
+                and self.write_buffer.empty):
+            self.done_cycle = cycle
+            self.stats.set("done_cycle", cycle)
+
+    # ------------------------------------------------------------------
+    # Retire
+    # ------------------------------------------------------------------
+
+    def _retire_stage(self) -> None:
+        retired = 0
+        width = self.config.core.width
+        while retired < width:
+            head = self.rob.head()
+            if head is None:
+                break
+            if not self._head_may_retire(head):
+                break
+            self._retire(head)
+            retired += 1
+
+    def _head_may_retire(self, head: ROBEntry) -> bool:
+        opclass = head.uop.opclass
+        if opclass is OpClass.STORE:
+            return head.complete and not self.write_buffer.full
+        if opclass is OpClass.ATOMIC:
+            if not head.issued:
+                if head.addr_ready and self.write_buffer.empty:
+                    self._issue_atomic(head)
+                return False
+            return head.complete
+        if opclass is OpClass.FENCE:
+            return self.write_buffer.empty
+        if opclass is OpClass.BARRIER:
+            if not head.barrier_notified:
+                head.barrier_notified = True
+                self.barriers.arrive(head.uop.barrier_id, self.core_id)
+            return self.barriers.released(head.uop.barrier_id)
+        if opclass is OpClass.LOAD and head.invisible:
+            # an invisibly-performed load cannot retire before the visible
+            # validation access at its VP has completed (InvisiSpec-class)
+            return head.complete and head.validated
+        return head.complete
+
+    def _retire(self, head: ROBEntry) -> None:
+        uop = head.uop
+        opclass = uop.opclass
+        if opclass is OpClass.LOAD:
+            if head.vp_cycle is None:
+                self.note_vp_reached(head)
+            self.lq.release_head(head)
+            self.vp_state.unretired_loads.discard(head.index)
+            self.controller.on_load_retire(head)
+        elif opclass is OpClass.STORE:
+            self.sq.release_head(head)
+            self.write_buffer.push(head.line)
+            self._kick_write_buffer()
+        elif opclass in (OpClass.FENCE, OpClass.ATOMIC, OpClass.BARRIER):
+            self.vp_state.serializing.discard(head.index)
+        self.rob.pop_head()
+        self._retired_upto = head.index + 1
+        self.stats.bump("retired")
+
+    # ------------------------------------------------------------------
+    # VP tracking
+    # ------------------------------------------------------------------
+
+    def note_vp_reached(self, entry: ROBEntry) -> None:
+        """Record the cycle a load reached its Visibility Point."""
+        if entry.vp_cycle is None:
+            entry.vp_cycle = self.cycle
+            self.stats.bump("vp_reached")
+            self.scheme.on_load_vp(entry)
+
+    def _update_vps(self) -> None:
+        """Walk the LQ in program order marking loads whose VP conditions
+        now hold.  The below-MCV conditions are monotone in program order,
+        so the walk stops at the first load that fails them."""
+        if not self.scheme.gates_issue and self.taint is None:
+            return
+        level = self.config.threat_model.level
+        pinned_mode = self._pinning
+        aggressive = self.config.pinning.aggressive_tso
+        vp = self.vp_state
+        for load in self.lq:
+            index = load.index
+            # conditions over *older* uops are monotone in program order:
+            # once one fails, it fails for every younger load too
+            if not vp.unresolved_branches.none_below(index):
+                break
+            if level >= ThreatModel.ALIAS.level \
+                    and not vp.unknown_addr_stores.none_below(index):
+                break
+            if level >= ThreatModel.EXCEPT.level \
+                    and not vp.unknown_addr_memops.none_below(index):
+                break
+            if load.vp_cycle is not None:
+                continue
+            if not load.addr_ready:
+                continue    # own-address readiness is not monotone
+            if level >= ThreatModel.MCV.level:
+                if pinned_mode:
+                    if not load.mcv_safe:
+                        break
+                elif aggressive:
+                    if not vp.unretired_loads.none_below(index):
+                        break
+                elif not self.rob.is_head(load):
+                    break
+            self.note_vp_reached(load)
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def _issue_stage(self) -> None:
+        width = self.config.core.width
+        if self._ready:
+            self._ready.sort(key=lambda e: e.index)
+            issuable = self._ready
+            self._ready = []
+            budget = width
+            for entry in issuable:
+                if entry.squashed:
+                    continue
+                if budget == 0:
+                    self._ready.append(entry)
+                    continue
+                self._begin_execution(entry)
+                budget -= 1
+        self._issue_waiting_loads()
+
+    def _begin_execution(self, entry: ROBEntry) -> None:
+        cp = self.config.core
+        opclass = entry.uop.opclass
+        if opclass is OpClass.INT_ALU:
+            entry.issued = True
+            self._schedule_complete(entry, cp.int_latency)
+        elif opclass is OpClass.FP_ALU:
+            entry.issued = True
+            self._schedule_complete(entry, cp.fp_latency)
+        elif opclass is OpClass.BRANCH:
+            entry.issued = True
+            self.events.schedule_after(
+                cp.branch_exec_latency,
+                lambda: self._on_branch_resolved(entry))
+        elif opclass in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC):
+            # memory ops only generate their address here; "issued" is
+            # reserved for the actual memory access
+            self.events.schedule_after(
+                cp.agen_latency, lambda: self._on_addr_ready(entry))
+        else:
+            raise AssertionError(f"unexpected ready uop {entry}")
+
+    def _schedule_complete(self, entry: ROBEntry, latency: int) -> None:
+        self.events.schedule_after(latency, lambda: self._complete(entry))
+
+    def _complete(self, entry: ROBEntry) -> None:
+        if entry.squashed or entry.complete:
+            return
+        entry.complete = True
+        entry.complete_cycle = self.events.now
+        self._wake_dependents(entry.index)
+
+    def _wake_dependents(self, index: int) -> None:
+        waiters = self._waiters.pop(index, None)
+        if waiters:
+            for waiter in waiters:
+                if waiter.squashed:
+                    continue
+                waiter.pending_deps -= 1
+                if waiter.pending_deps == 0:
+                    self._ready.append(waiter)
+        data_waiters = self._data_waiters.pop(index, None)
+        if data_waiters:
+            for waiter in data_waiters:
+                if waiter.squashed:
+                    continue
+                waiter.pending_data_deps -= 1
+                self._maybe_complete_store(waiter)
+
+    def _maybe_complete_store(self, store: ROBEntry) -> None:
+        """A store completes once its address is generated *and* its data
+        operands arrived; the address alone opens/closes the aliasing and
+        exception windows."""
+        if store.addr_ready and store.pending_data_deps == 0:
+            self._complete(store)
+
+    def _on_branch_resolved(self, entry: ROBEntry) -> None:
+        if entry.squashed:
+            return
+        self.vp_state.unresolved_branches.discard(entry.index)
+        self._complete(entry)
+        if entry.uop.mispredicted \
+                and entry.index not in self._resolved_mispredicts:
+            # the predictor learns: a replayed branch predicts correctly
+            self._resolved_mispredicts.add(entry.index)
+            self.stats.bump("squashes_branch")
+            self._squash_from(entry.index + 1, None)
+            self._fetch_resume = max(
+                self._fetch_resume,
+                self.events.now + self.config.core.branch_resolve_latency)
+
+    def _on_addr_ready(self, entry: ROBEntry) -> None:
+        if entry.squashed:
+            return
+        entry.addr_ready = True
+        opclass = entry.uop.opclass
+        self.vp_state.unknown_addr_memops.discard(entry.index)
+        if opclass in (OpClass.STORE, OpClass.ATOMIC):
+            self.vp_state.unknown_addr_stores.discard(entry.index)
+            self._alias_squash_check(entry)
+        if opclass is OpClass.STORE:
+            self._maybe_complete_store(entry)
+        elif opclass is OpClass.LOAD:
+            self._waiting_loads.append(entry)
+        # ATOMICs wait for the ROB head (they execute non-speculatively)
+
+    def _alias_squash_check(self, store: ROBEntry) -> None:
+        """The store's address just became known: any younger load of the
+        same line that already performed read a stale value (memory
+        dependence mis-speculation) and must replay."""
+        victims = [load for load in self.lq.performed_unretired(store.line)
+                   if load.index > store.index]
+        if victims:
+            self.stats.bump("squashes_alias")
+            self._squash_from(min(v.index for v in victims), None)
+            self._fetch_resume = max(
+                self._fetch_resume,
+                self.events.now + self.config.core.branch_resolve_latency)
+
+    # -- loads -----------------------------------------------------------
+
+    def _issue_waiting_loads(self) -> None:
+        if not self._waiting_loads:
+            return
+        self._waiting_loads.sort(key=lambda e: e.index)
+        budget = L1_PORTS
+        keep: List[ROBEntry] = []
+        for entry in self._waiting_loads:
+            if entry.squashed or entry.issued:
+                continue
+            mode = self._load_issue_mode(entry)
+            if budget and mode is not IssueMode.STALL:
+                if mode is IssueMode.INVISIBLE:
+                    self._issue_load_invisible(entry)
+                else:
+                    self._issue_load(entry)
+                budget -= 1
+            else:
+                keep.append(entry)
+        self._waiting_loads = keep
+
+    def _load_issue_mode(self, entry: ROBEntry) -> IssueMode:
+        if not self.scheme.gates_issue:
+            return IssueMode.NORMAL
+        if entry.vp_cycle is not None:
+            return IssueMode.NORMAL
+        return self.scheme.pre_vp_issue_mode(entry)
+
+    def _issue_load(self, entry: ROBEntry) -> None:
+        entry.issued = True
+        forwarding = self.sq.forwarding_store(entry)
+        if forwarding is None and self.write_buffer.contains_line(entry.line):
+            forwarding = entry     # forwarded from the write buffer
+        if forwarding is not None:
+            entry.forwarded = True
+            self.stats.bump("loads_forwarded")
+            entry.performed = True
+            self._schedule_complete(entry, 1)
+            return
+        entry.outstanding = True
+        self.stats.bump("loads_issued")
+        self.mem.load(self.core_id, entry.line,
+                      lambda _cycle, e=entry: self._on_load_data(e))
+
+    def _issue_load_invisible(self, entry: ROBEntry) -> None:
+        """Invisible-speculation issue: the load gets its data without any
+        cache/coherence side effects; a visible validation access follows
+        at its VP (scheme hook ``on_load_vp``)."""
+        entry.issued = True
+        forwarding = self.sq.forwarding_store(entry)
+        if forwarding is None and self.write_buffer.contains_line(entry.line):
+            forwarding = entry
+        if forwarding is not None:
+            # store forwarding is core-local and already invisible
+            entry.forwarded = True
+            self.stats.bump("loads_forwarded")
+            entry.performed = True
+            self._schedule_complete(entry, 1)
+            return
+        entry.invisible = True
+        entry.outstanding = True
+        self.stats.bump("loads_issued_invisible")
+        self.mem.load_invisible(
+            self.core_id, entry.line,
+            lambda _cycle, e=entry: self._on_invisible_load_data(e))
+
+    def _on_invisible_load_data(self, entry: ROBEntry) -> None:
+        if entry.squashed:
+            return
+        entry.outstanding = False
+        if (self.sq.forwarding_store(entry) is not None
+                or self.write_buffer.contains_line(entry.line)):
+            self._squash_from(entry.index, "alias")
+            return
+        entry.performed = True
+        self._complete(entry)
+        if entry.vp_cycle is not None and not entry.validated:
+            # the VP arrived while the invisible access was in flight
+            self.issue_validation(entry)
+
+    def issue_validation(self, entry: ROBEntry) -> None:
+        """Issue the visible validation access for an invisibly-performed
+        load (called by the scheme when the load reaches its VP)."""
+        if entry.squashed or entry.validated:
+            return
+        if entry.outstanding:
+            return   # the invisible fetch itself is still in flight
+        self.stats.bump("validations_issued")
+        self.mem.load(self.core_id, entry.line,
+                      lambda _cycle, e=entry: self._on_validation_done(e))
+
+    def _on_validation_done(self, entry: ROBEntry) -> None:
+        if entry.squashed:
+            return
+        entry.validated = True
+        self.stats.bump("validations_completed")
+
+    def issue_load_for_pinning(self, entry: ROBEntry) -> None:
+        """Late Pinning authorization: the load issues now and will be
+        pinned when its data arrives (paper §5.2.1).  Authorization is the
+        moment the VP is effectively passed downstream."""
+        self.note_vp_reached(entry)
+        self.stats.bump("lp_authorized_issues")
+        self._issue_load(entry)
+
+    def _on_load_data(self, entry: ROBEntry) -> None:
+        if entry.squashed:
+            return
+        entry.outstanding = False
+        if (self.sq.forwarding_store(entry) is not None
+                or self.write_buffer.contains_line(entry.line)):
+            # an older store to this line resolved while the load was in
+            # flight: the memory value is stale — replay (it will forward)
+            self._squash_from(entry.index, "alias")
+            return
+        if (self._pinning
+                and self.config.pinning.mode is PinningMode.LATE
+                and not entry.pinned and not entry.mcv_safe
+                and entry.vp_cycle is not None):
+            # this was an LP-authorized issue: pin before consuming
+            if not self.controller.lp_data_arrived(entry):
+                entry.parked = True
+                self._lp_parked.append(entry)
+                return
+        if entry.pinned:
+            self.controller.on_pinned_fill(entry)
+        entry.performed = True
+        self._complete(entry)
+
+    def _lp_retry_parked(self) -> None:
+        if not self._lp_parked:
+            return
+        keep: List[ROBEntry] = []
+        for entry in self._lp_parked:
+            if entry.squashed:
+                continue
+            if not self.mem.l1_hit(self.core_id, entry.line):
+                # the unconsumed line was invalidated/evicted: refetch
+                entry.parked = False
+                entry.outstanding = True
+                self.stats.bump("lp_parked_refetches")
+                self.mem.load(self.core_id, entry.line,
+                              lambda _cycle, e=entry: self._on_load_data(e))
+                continue
+            if self.controller.lp_data_arrived(entry):
+                entry.parked = False
+                entry.performed = True
+                self._complete(entry)
+            else:
+                keep.append(entry)
+        self._lp_parked = keep
+
+    # -- atomics ---------------------------------------------------------
+
+    def _issue_atomic(self, entry: ROBEntry) -> None:
+        entry.issued = True
+        self.stats.bump("atomics_issued")
+        self.mem.store(self.core_id, entry.line,
+                       lambda _cycle, e=entry: self._complete(e))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_stage(self) -> None:
+        if self.cycle < self._fetch_resume:
+            return
+        width = self.config.core.width
+        dispatched = 0
+        trace = self.trace
+        while dispatched < width and self._cursor < len(trace) \
+                and not self.rob.full:
+            uop = trace[self._cursor]
+            if uop.is_load and self.lq.full:
+                break
+            if uop.is_store and self.sq.full:
+                break
+            self._dispatch(uop)
+            self._cursor += 1
+            dispatched += 1
+
+    def _dispatch(self, uop: MicroOp) -> None:
+        entry = ROBEntry(uop, 0, self.cycle)
+        pending = 0
+        for dep in uop.deps:
+            if not self._value_available(dep):
+                self._waiters.setdefault(dep, []).append(entry)
+                pending += 1
+        entry.pending_deps = pending
+        for dep in uop.data_deps:
+            if not self._value_available(dep):
+                self._data_waiters.setdefault(dep, []).append(entry)
+                entry.pending_data_deps += 1
+        self.rob.push(entry)
+        self.stats.bump("dispatched")
+        vp = self.vp_state
+        opclass = uop.opclass
+        if opclass is OpClass.LOAD:
+            self.lq.allocate(entry)
+            vp.unretired_loads.add(entry.index)
+            vp.unknown_addr_memops.add(entry.index)
+            self.controller.on_load_dispatch(entry)
+        elif opclass is OpClass.STORE:
+            self.sq.allocate(entry)
+            vp.unknown_addr_stores.add(entry.index)
+            vp.unknown_addr_memops.add(entry.index)
+        elif opclass is OpClass.ATOMIC:
+            vp.unknown_addr_stores.add(entry.index)
+            vp.unknown_addr_memops.add(entry.index)
+            vp.serializing.add(entry.index)
+        elif opclass is OpClass.BRANCH:
+            vp.unresolved_branches.add(entry.index)
+        elif opclass in (OpClass.FENCE, OpClass.BARRIER):
+            vp.serializing.add(entry.index)
+        if self.taint is not None:
+            self.taint.on_dispatch(uop)
+        if pending == 0 and opclass not in (OpClass.FENCE, OpClass.BARRIER):
+            self._ready.append(entry)
+
+    def _value_available(self, dep: int) -> bool:
+        if dep < self._retired_upto:
+            return True
+        producer = self.rob.find(dep)
+        return producer is not None and producer.complete
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+
+    def _squash_from(self, index: int, reason: Optional[str]) -> None:
+        """Squash every in-flight uop with program-order index >= index and
+        rewind the fetch cursor for replay."""
+        if reason is not None:
+            self.stats.bump(f"squashes_{reason}")
+            self._fetch_resume = max(
+                self._fetch_resume,
+                self.events.now + self.config.core.branch_resolve_latency)
+        squashed = 0
+        while True:
+            tail = self.rob.tail()
+            if tail is None or tail.index < index:
+                break
+            self.rob.pop_tail()
+            self._cleanup_squashed(tail)
+            squashed += 1
+        self.lq.squash_younger_or_equal(index)
+        self.sq.squash_younger_or_equal(index)
+        self._cursor = min(self._cursor, index)
+        self.stats.bump("squashed_uops", squashed)
+
+    def _cleanup_squashed(self, entry: ROBEntry) -> None:
+        entry.squashed = True
+        vp = self.vp_state
+        index = entry.index
+        opclass = entry.uop.opclass
+        if opclass is OpClass.LOAD:
+            vp.unretired_loads.discard(index)
+            vp.unknown_addr_memops.discard(index)
+            self.controller.on_load_squash(entry)
+        elif opclass is OpClass.STORE:
+            vp.unknown_addr_stores.discard(index)
+            vp.unknown_addr_memops.discard(index)
+        elif opclass is OpClass.ATOMIC:
+            vp.unknown_addr_stores.discard(index)
+            vp.unknown_addr_memops.discard(index)
+            vp.serializing.discard(index)
+        elif opclass is OpClass.BRANCH:
+            vp.unresolved_branches.discard(index)
+        elif opclass in (OpClass.FENCE, OpClass.BARRIER):
+            vp.serializing.discard(index)
+
+    # ------------------------------------------------------------------
+    # Write buffer drain
+    # ------------------------------------------------------------------
+
+    def _kick_write_buffer(self) -> None:
+        if self._wb_draining or self.write_buffer.empty:
+            return
+        head = self.write_buffer.head()
+        head.draining = True
+        self._wb_draining = True
+        self.mem.store(self.core_id, head.line, self._on_store_performed)
+
+    def _on_store_performed(self, _cycle: int) -> None:
+        self.write_buffer.pop()
+        self.stats.bump("stores_performed")
+        self._wb_draining = False
+        self._kick_write_buffer()
+
+    # ------------------------------------------------------------------
+    # Progress reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def retired(self) -> int:
+        return int(self.stats["retired"])
+
+    def __repr__(self) -> str:
+        return (f"Core(id={self.core_id}, retired={self.retired}, "
+                f"cursor={self._cursor}/{len(self.trace)})")

@@ -1,0 +1,114 @@
+"""Reorder buffer and its entries.
+
+A ``ROBEntry`` is the mutable execution state of one dispatched uop.  The
+same ``MicroOp`` may be dispatched several times (squash-and-replay), each
+time with a fresh entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.isa.uops import MicroOp
+
+
+class ROBEntry:
+    """Execution state of one in-flight uop."""
+
+    __slots__ = (
+        "uop", "index", "pending_deps", "pending_data_deps", "issued",
+        "complete",
+        "complete_cycle", "addr_ready", "performed", "line", "lq_id",
+        "pinned", "mcv_safe", "squashed", "dispatch_cycle", "outstanding",
+        "vp_cycle", "forwarded", "parked", "barrier_notified",
+        "invisible", "validated",
+    )
+
+    def __init__(self, uop: MicroOp, pending_deps: int,
+                 dispatch_cycle: int) -> None:
+        self.uop = uop
+        self.index = uop.index
+        self.pending_deps = pending_deps
+        self.pending_data_deps = 0      # stores: data operands outstanding
+        self.dispatch_cycle = dispatch_cycle
+        self.issued = False
+        self.complete = False
+        self.complete_cycle: Optional[int] = None
+        self.addr_ready = False
+        self.performed = False          # loads: data received and consumed
+        self.line: Optional[int] = (uop.addr >> 6) if uop.addr is not None \
+            else None
+        self.lq_id: Optional[int] = None
+        self.pinned = False
+        self.mcv_safe = False           # pinned, or exempt as oldest load
+        self.squashed = False
+        self.outstanding = False        # load issued to memory, no data yet
+        self.vp_cycle: Optional[int] = None
+        self.forwarded = False          # load satisfied by store forwarding
+        self.parked = False             # LP: data arrived but pin deferred
+        self.barrier_notified = False   # barrier uop announced its arrival
+        self.invisible = False          # load performed invisibly (InvisiSpec)
+        self.validated = False          # invisible load validated at its VP
+
+    @property
+    def deps_ready(self) -> bool:
+        return self.pending_deps == 0
+
+    def __repr__(self) -> str:
+        flags = "".join(flag for flag, on in [
+            ("I", self.issued), ("C", self.complete), ("A", self.addr_ready),
+            ("P", self.performed), ("p", self.pinned), ("s", self.mcv_safe),
+            ("X", self.squashed)] if on)
+        return f"ROBEntry(#{self.index} {self.uop.opclass.value} [{flags}])"
+
+
+class ReorderBuffer:
+    """In-order window of in-flight uops with index lookup."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Deque[ROBEntry] = deque()
+        self._by_index: Dict[int, ROBEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ROBEntry]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[ROBEntry]:
+        return self._entries[0] if self._entries else None
+
+    def tail(self) -> Optional[ROBEntry]:
+        return self._entries[-1] if self._entries else None
+
+    def push(self, entry: ROBEntry) -> None:
+        if self.full:
+            raise OverflowError("ROB full")
+        self._entries.append(entry)
+        self._by_index[entry.index] = entry
+
+    def pop_head(self) -> ROBEntry:
+        entry = self._entries.popleft()
+        del self._by_index[entry.index]
+        return entry
+
+    def pop_tail(self) -> ROBEntry:
+        entry = self._entries.pop()
+        del self._by_index[entry.index]
+        return entry
+
+    def find(self, index: int) -> Optional[ROBEntry]:
+        return self._by_index.get(index)
+
+    def is_head(self, entry: ROBEntry) -> bool:
+        return bool(self._entries) and self._entries[0] is entry

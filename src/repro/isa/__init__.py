@@ -1,0 +1,9 @@
+"""Micro-op ISA and trace containers."""
+
+from repro.isa.serialize import load_workload, save_workload
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import (MEMORY_CLASSES, SERIALIZING_CLASSES, MicroOp,
+                            OpClass)
+
+__all__ = ["MEMORY_CLASSES", "SERIALIZING_CLASSES", "MicroOp", "OpClass",
+           "Trace", "Workload", "load_workload", "save_workload"]

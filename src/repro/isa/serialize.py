@@ -1,0 +1,79 @@
+"""Trace and workload serialization (JSON).
+
+Synthetic traces are cheap to regenerate, but serialization lets a user
+pin down the *exact* instruction stream of an experiment (artifact
+archiving), hand-edit a trace for a case study, or import traces produced
+by an external tool into this simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+
+FORMAT_VERSION = 1
+
+
+def uop_to_dict(uop: MicroOp) -> dict:
+    record = {"op": uop.opclass.value}
+    if uop.deps:
+        record["deps"] = list(uop.deps)
+    if uop.data_deps:
+        record["data_deps"] = list(uop.data_deps)
+    if uop.addr is not None:
+        record["addr"] = uop.addr
+    if uop.mispredicted:
+        record["mispredicted"] = True
+    if uop.barrier_id is not None:
+        record["barrier_id"] = uop.barrier_id
+    return record
+
+
+def uop_from_dict(index: int, record: dict) -> MicroOp:
+    return MicroOp(
+        index,
+        OpClass(record["op"]),
+        deps=tuple(record.get("deps", ())),
+        data_deps=tuple(record.get("data_deps", ())),
+        addr=record.get("addr"),
+        mispredicted=record.get("mispredicted", False),
+        barrier_id=record.get("barrier_id"),
+    )
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "name": workload.name,
+        "threads": [
+            {"name": trace.name,
+             "uops": [uop_to_dict(uop) for uop in trace]}
+            for trace in workload.traces
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported workload format version {version!r}")
+    traces = []
+    for thread in data["threads"]:
+        uops = [uop_from_dict(index, record)
+                for index, record in enumerate(thread["uops"])]
+        traces.append(Trace(uops, name=thread.get("name", "trace")))
+    return Workload(traces, name=data.get("name", "workload"))
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to a JSON file."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload back from a JSON file."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,67 @@
+"""Trace containers: per-thread uop sequences plus workload metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.isa.uops import MicroOp, OpClass
+
+
+class Trace:
+    """An immutable per-thread instruction sequence.
+
+    The core keeps a cursor into the trace; a squash simply rewinds the
+    cursor, so the same ``Trace`` serves replay for free.
+    """
+
+    def __init__(self, uops: Sequence[MicroOp], name: str = "trace") -> None:
+        self._uops: List[MicroOp] = list(uops)
+        self.name = name
+        for position, uop in enumerate(self._uops):
+            if uop.index != position:
+                raise ValueError(
+                    f"uop at position {position} has index {uop.index}")
+
+    def __len__(self) -> int:
+        return len(self._uops)
+
+    def __getitem__(self, index: int) -> MicroOp:
+        return self._uops[index]
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self._uops)
+
+    def count(self, opclass: OpClass) -> int:
+        return sum(1 for uop in self._uops if uop.opclass is opclass)
+
+    def mix(self) -> Dict[str, float]:
+        """Fraction of the trace in each op class (diagnostics/tests)."""
+        total = max(len(self._uops), 1)
+        return {cls.value: self.count(cls) / total for cls in OpClass}
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines the trace touches."""
+        lines = {uop.addr >> 6 for uop in self._uops if uop.addr is not None}
+        return len(lines)
+
+
+class Workload:
+    """A named set of per-thread traces that run together on one system."""
+
+    def __init__(self, traces: Sequence[Trace], name: str = "workload") -> None:
+        if not traces:
+            raise ValueError("workload needs at least one trace")
+        self.traces: List[Trace] = list(traces)
+        self.name = name
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(trace) for trace in self.traces)
+
+    def __repr__(self) -> str:
+        return (f"Workload({self.name!r}, threads={self.num_threads}, "
+                f"instructions={self.total_instructions})")

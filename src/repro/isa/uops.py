@@ -1,0 +1,100 @@
+"""Micro-operation definitions.
+
+The core is trace-driven: a workload is a per-thread sequence of
+``MicroOp``s with explicit data dependences (indices of older uops in the
+same thread).  A uop is immutable once generated; all execution state lives
+in the core's ROB entries so that squash-and-replay re-dispatches the same
+uop object cheaply.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class OpClass(enum.Enum):
+    INT_ALU = "int"
+    FP_ALU = "fp"
+    BRANCH = "br"
+    LOAD = "ld"
+    STORE = "st"
+    FENCE = "fence"      # MFENCE: orders all memory ops around it
+    ATOMIC = "atomic"    # LOCK-prefixed RMW: load+store with fence semantics
+    BARRIER = "barrier"  # workload-level thread barrier (parallel suites)
+
+
+MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC})
+SERIALIZING_CLASSES = frozenset({OpClass.FENCE, OpClass.ATOMIC,
+                                 OpClass.BARRIER})
+
+
+class MicroOp:
+    """One instruction of a workload trace.
+
+    Attributes:
+        index: program-order position within the thread (0-based).
+        opclass: what kind of uop this is.
+        deps: indices of older uops whose results this uop consumes.  For a
+            memory op these are the *address* operands (plus store data);
+            a load is "dependent" in the paper's Fig. 2(g) sense when its
+            deps include an older load.
+        addr: byte address for memory ops, ``None`` otherwise.
+        mispredicted: for branches, whether the predictor got it wrong
+            (resolving such a branch squashes all younger uops).
+        barrier_id: for BARRIER uops, which global rendezvous this is.
+    """
+
+    __slots__ = ("index", "opclass", "deps", "data_deps", "addr",
+                 "mispredicted", "barrier_id")
+
+    def __init__(self, index: int, opclass: OpClass,
+                 deps: Tuple[int, ...] = (),
+                 addr: Optional[int] = None,
+                 mispredicted: bool = False,
+                 barrier_id: Optional[int] = None,
+                 data_deps: Tuple[int, ...] = ()) -> None:
+        for dep in tuple(deps) + tuple(data_deps):
+            if dep >= index:
+                raise ValueError(
+                    f"uop {index} depends on non-older uop {dep}")
+        if opclass in MEMORY_CLASSES and addr is None:
+            raise ValueError(f"{opclass} uop requires an address")
+        if data_deps and opclass is not OpClass.STORE:
+            raise ValueError("data_deps are only meaningful for stores")
+        self.index = index
+        self.opclass = opclass
+        self.deps = tuple(deps)
+        self.data_deps = tuple(data_deps)
+        self.addr = addr
+        self.mispredicted = mispredicted
+        self.barrier_id = barrier_id
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in MEMORY_CLASSES
+
+    @property
+    def is_serializing(self) -> bool:
+        return self.opclass in SERIALIZING_CLASSES
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.addr is not None:
+            extra = f" addr=0x{self.addr:x}"
+        if self.mispredicted:
+            extra += " mispred"
+        return (f"MicroOp(#{self.index} {self.opclass.value}"
+                f" deps={list(self.deps)}{extra})")

@@ -1,0 +1,490 @@
+"""Transaction-level MESI coherence with the Pinned Loads extensions.
+
+This module is the substitute for the paper's gem5/Ruby protocol.  Protocol
+*decisions* are faithful to §5 of the paper:
+
+* An invalidation aimed at a line pinned by the receiving core is denied:
+  the sharer answers ``Defer``, the writer ``Abort``s and retries
+  (Figure 3b).
+* Retries after a deferral use ``GetX*``; the directory then sends ``Inv*``,
+  which inserts the line into every sharer's Cannot-Pin Table; when the
+  write finally succeeds, ``Clear`` removes it (Figure 5, §5.1.5).
+* Evictions — L1 victim picks and LLC back-invalidating victim picks — skip
+  pinned lines; if every candidate is pinned the operation retries later
+  (§5.1.3).  Retried writes and retried evictions are counted (§9.1.3).
+
+Timing is transaction-level: a request is processed at the directory after
+its network latency, makes all protocol decisions there against *current*
+state, and completes after the remaining message latencies.  A per-line busy
+set stands in for the directory's transient states.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.addr import slice_of
+from repro.common.events import EventQueue
+from repro.common.params import SystemConfig
+from repro.common.stats import StatSet
+from repro.mem.cache import CacheArray, LineState, MSHRFile
+from repro.mem.directory import DirEntry
+from repro.mem.network import MeshNetwork
+
+Callback = Callable[[int], None]
+
+
+class CorePort:
+    """What the memory system needs from each core.
+
+    The real core (``repro.core.pipeline.Core``) implements this; unit tests
+    use this default implementation directly as a passive stub.
+    """
+
+    def has_pinned(self, line: int) -> bool:
+        """Is ``line`` currently pinned by a load of this core? (§5.1.1)"""
+        return False
+
+    def on_invalidation(self, line: int) -> None:
+        """L1 copy invalidated by a remote write: MCV-squash check (§2)."""
+
+    def on_line_evicted(self, line: int) -> None:
+        """L1 copy evicted (self or back-invalidation): MCV-squash check."""
+
+    def cpt_insert(self, line: int, writer: int = None) -> None:
+        """Received ``Inv*``: record that the line cannot be pinned.
+        ``writer`` is the starving writer core (used by the §6.3 advanced
+        CPT's reservation queue)."""
+
+    def cpt_clear(self, line: int) -> None:
+        """Received ``Clear``: the starving write succeeded."""
+
+
+class _WriteTxn:
+    """State of one in-flight (possibly retrying) write transaction."""
+
+    __slots__ = ("attempts", "inv_star_recipients")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.inv_star_recipients: Set[int] = set()
+
+
+class CoherentMemory:
+    """The full shared-memory system: per-core L1s, sliced LLC+directory,
+    mesh network, and DRAM behind the LLC."""
+
+    def __init__(self, config: SystemConfig, events: EventQueue) -> None:
+        self.config = config
+        self.events = events
+        self.network = MeshNetwork(config.network)
+        self.stats = StatSet()
+        self.num_slices = config.num_slices
+        self.l1s: List[CacheArray] = [CacheArray(config.l1d)
+                                      for _ in range(config.num_cores)]
+        self.mshrs: List[MSHRFile] = [MSHRFile()
+                                      for _ in range(config.num_cores)]
+        self.slices: List[CacheArray] = [CacheArray(config.llc_slice)
+                                         for _ in range(self.num_slices)]
+        self.ports: List[CorePort] = [CorePort()
+                                      for _ in range(config.num_cores)]
+        self._busy_lines: Set[int] = set()
+        self._write_txns: Dict[Tuple[int, int], _WriteTxn] = {}
+        self._retry_backoff = config.write_retry_latency
+
+    def attach_port(self, core_id: int, port: CorePort) -> None:
+        self.ports[core_id] = port
+
+    # ------------------------------------------------------------------
+    # Functional warm-up
+    # ------------------------------------------------------------------
+
+    def warm(self, workload) -> None:
+        """Functionally pre-touch every memory access of the workload.
+
+        Stands in for the paper's warm-up phase (1M instructions before
+        each SimPoint / full-system ROI entry): caches and directory start
+        the timed run in their steady state instead of cold.  Protocol
+        state is mirrored (sharers, owners, inclusive back-invalidation)
+        but no timing, squash, or pinning effects apply.
+
+        Only *reused* lines (accessed more than once across the workload)
+        are warmed: a line touched exactly once is a compulsory miss and
+        must stay cold — streaming workloads pay DRAM latency for it, as
+        they would on real hardware.
+        """
+        counts: Dict[int, int] = {}
+        for trace in workload.traces:
+            for uop in trace:
+                if uop.addr is not None:
+                    line = uop.addr >> 6
+                    counts[line] = counts.get(line, 0) + 1
+        for core_id, trace in enumerate(workload.traces):
+            l1 = self.l1s[core_id]
+            for uop in trace:
+                if uop.addr is None:
+                    continue
+                line = uop.addr >> 6
+                if counts[line] > 1:
+                    self._warm_touch(core_id, l1, line)
+
+    def _warm_touch(self, core_id: int, l1: CacheArray, line: int) -> None:
+        slice_id = slice_of(line, self.num_slices)
+        slice_array = self.slices[slice_id]
+        dir_entry: Optional[DirEntry] = slice_array.lookup(line)
+        if dir_entry is None:
+            if slice_array.needs_victim(line):
+                victim = slice_array.pick_victim(line)
+                victim_entry: DirEntry = slice_array.lookup(victim,
+                                                            touch=False)
+                for holder in victim_entry.holders():
+                    self.l1s[holder].invalidate(victim)
+                slice_array.invalidate(victim)
+            dir_entry = DirEntry()
+            slice_array.fill(line, dir_entry)
+        if l1.lookup(line) is not None:
+            return
+        if dir_entry.owner is not None and dir_entry.owner != core_id:
+            owner_l1 = self.l1s[dir_entry.owner]
+            if owner_l1.lookup(line, touch=False) is not None:
+                owner_l1.set_state(line, LineState.SHARED)
+            dir_entry.downgrade_owner()
+        if l1.needs_victim(line):
+            victim = l1.pick_victim(line)
+            l1.invalidate(victim)
+            victim_dir = self.slices[slice_of(victim, self.num_slices)] \
+                .lookup(victim, touch=False)
+            if victim_dir is not None:
+                victim_dir.drop(core_id)
+        if dir_entry.holders():
+            l1.fill(line, LineState.SHARED)
+            dir_entry.add_sharer(core_id)
+        else:
+            l1.fill(line, LineState.EXCLUSIVE)
+            dir_entry.make_owner(core_id)
+
+    # ------------------------------------------------------------------
+    # Queries used by defenses and the pinning controller
+    # ------------------------------------------------------------------
+
+    def l1_hit(self, core_id: int, line: int) -> bool:
+        """Non-destructive L1 presence probe (Delay-On-Miss's test)."""
+        return self.l1s[core_id].lookup(line, touch=False) is not None
+
+    def l1_set_of(self, line: int) -> int:
+        return self.l1s[0].set_of(line)
+
+    def slice_and_set_of(self, line: int) -> Tuple[int, int]:
+        slice_id = slice_of(line, self.num_slices)
+        return slice_id, self.slices[slice_id].set_of(line)
+
+    def _line_pinned_anywhere(self, line: int) -> bool:
+        return any(port.has_pinned(line) for port in self.ports)
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+
+    def load(self, core_id: int, line: int, on_complete: Callback) -> None:
+        """Fetch ``line`` for a load of ``core_id``; fire ``on_complete``
+        with the completion cycle once the data is in the L1."""
+        self.stats.bump("loads")
+        l1 = self.l1s[core_id]
+        if l1.lookup(line) is not None:
+            self.stats.bump("l1_load_hits")
+            done = self.events.now + self.config.l1d.latency
+            self.events.schedule(done, lambda: on_complete(done))
+            return
+        self.stats.bump("l1_load_misses")
+        mshr_file = self.mshrs[core_id]
+        pending = mshr_file.outstanding(line)
+        if pending is not None:
+            pending.callbacks.append(on_complete)
+            return
+        entry = mshr_file.allocate(line, self.events.now)
+        entry.callbacks.append(on_complete)
+        slice_id = slice_of(line, self.num_slices)
+        lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
+                                                          "getS")
+        self.events.schedule_after(
+            lat, lambda: self._dir_read(core_id, line, slice_id))
+        if self.config.l1_prefetch:
+            self._maybe_prefetch(core_id, line + 1)
+
+    def _maybe_prefetch(self, core_id: int, line: int) -> None:
+        """Next-line L1 prefetch on a demand miss (Table 1's "1 hardware
+        prefetcher").  A later demand load to the line merges into the
+        prefetch's MSHR."""
+        if self.l1s[core_id].lookup(line, touch=False) is not None:
+            return
+        if self.mshrs[core_id].outstanding(line) is not None:
+            return
+        self.mshrs[core_id].allocate(line, self.events.now)
+        self.stats.bump("prefetches")
+        slice_id = slice_of(line, self.num_slices)
+        lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
+                                                          "getS_pf")
+        self.events.schedule_after(
+            lat, lambda: self._dir_read(core_id, line, slice_id))
+
+    def load_invisible(self, core_id: int, line: int,
+                       on_complete: Callback) -> None:
+        """Fetch ``line`` *invisibly*: the data's latency is computed from
+        the current cache/coherence state, but nothing is filled, touched,
+        or recorded — the access leaves no microarchitectural trace
+        (InvisiSpec-class defenses).  ``on_complete`` fires with the
+        completion cycle."""
+        self.stats.bump("invisible_loads")
+        if self.l1s[core_id].lookup(line, touch=False) is not None:
+            lat = self.config.l1d.latency
+        else:
+            slice_id = slice_of(line, self.num_slices)
+            lat = (self.config.l1d.latency
+                   + self.network.latency(core_id, slice_id))
+            dir_entry: Optional[DirEntry] = \
+                self.slices[slice_id].lookup(line, touch=False)
+            if dir_entry is None:
+                lat += (self.config.llc_slice.latency
+                        + self.config.dram_latency
+                        + self.network.latency(slice_id, core_id))
+            elif dir_entry.owner is not None and dir_entry.owner != core_id:
+                lat += (self.network.latency(slice_id, dir_entry.owner)
+                        + self.config.l1d.latency
+                        + self.network.latency(dir_entry.owner, core_id))
+            else:
+                lat += (self.config.llc_slice.latency
+                        + self.network.latency(slice_id, core_id))
+        self.stats.bump("invisible_load_cycles", lat)
+        done = self.events.now + lat
+        self.events.schedule(done, lambda: on_complete(done))
+
+    def _dir_read(self, core_id: int, line: int, slice_id: int) -> None:
+        if line in self._busy_lines:
+            self.events.schedule_after(
+                self._retry_backoff,
+                lambda: self._dir_read(core_id, line, slice_id))
+            return
+        slice_array = self.slices[slice_id]
+        dir_entry: Optional[DirEntry] = slice_array.lookup(line)
+        lat = self.config.llc_slice.latency
+        if dir_entry is None:
+            made_room = self._allocate_llc(slice_id, line)
+            if not made_room:
+                # every candidate victim is pinned; retry the fill later
+                self.stats.bump("eviction_retries")
+                self.events.schedule_after(
+                    self._retry_backoff,
+                    lambda: self._dir_read(core_id, line, slice_id))
+                return
+            dir_entry = DirEntry()
+            slice_array.fill(line, dir_entry)
+            lat += self.config.dram_latency
+            self.stats.bump("llc_misses")
+        elif dir_entry.owner is not None and dir_entry.owner != core_id:
+            # three-hop: forward from the owning core, which downgrades
+            owner = dir_entry.owner
+            lat += self.network.send(slice_id, owner, "fwd")
+            lat += self.config.l1d.latency
+            lat += self.network.send(owner, core_id, "data")
+            owner_l1 = self.l1s[owner]
+            if owner_l1.lookup(line, touch=False) is not None:
+                owner_l1.set_state(line, LineState.SHARED)
+            dir_entry.downgrade_owner()
+            dir_entry.add_sharer(core_id)
+            self._finish_load(core_id, line, lat, LineState.SHARED)
+            return
+        lat += self.network.send(slice_id, core_id, "data")
+        exclusive = not dir_entry.holders()
+        if exclusive:
+            dir_entry.make_owner(core_id)
+        else:
+            dir_entry.add_sharer(core_id)
+        state = LineState.EXCLUSIVE if exclusive else LineState.SHARED
+        self._finish_load(core_id, line, lat, state)
+
+    def _finish_load(self, core_id: int, line: int, extra_lat: int,
+                     state: LineState) -> None:
+        self.events.schedule_after(
+            extra_lat, lambda: self._l1_fill(core_id, line, state))
+
+    def _l1_fill(self, core_id: int, line: int, state: LineState) -> None:
+        l1 = self.l1s[core_id]
+        port = self.ports[core_id]
+        if l1.lookup(line, touch=False) is None:
+            if l1.needs_victim(line):
+                victim = l1.pick_victim(line, evictable=lambda v:
+                                        not port.has_pinned(v))
+                if victim is None:
+                    # whole set pinned (possible under Late Pinning): the
+                    # fill waits for a pinned load to retire
+                    self.stats.bump("eviction_retries")
+                    self.events.schedule_after(
+                        self._retry_backoff,
+                        lambda: self._l1_fill(core_id, line, state))
+                    return
+                self._evict_l1(core_id, victim)
+            l1.fill(line, state)
+        mshr = self.mshrs[core_id].outstanding(line)
+        if mshr is not None:
+            self.mshrs[core_id].retire(line)
+            now = self.events.now
+            for callback in mshr.callbacks:
+                callback(now)
+
+    def _evict_l1(self, core_id: int, victim: int) -> None:
+        """Evict ``victim`` from ``core_id``'s L1 (capacity eviction)."""
+        l1 = self.l1s[core_id]
+        state = l1.lookup(victim, touch=False)
+        l1.invalidate(victim)
+        if state is LineState.MODIFIED:
+            slice_id = slice_of(victim, self.num_slices)
+            self.network.send(core_id, slice_id, "wb")
+        slice_id = slice_of(victim, self.num_slices)
+        dir_entry = self.slices[slice_id].lookup(victim, touch=False)
+        if dir_entry is not None:
+            dir_entry.drop(core_id)
+        self.stats.bump("l1_evictions")
+        self.ports[core_id].on_line_evicted(victim)
+
+    def _allocate_llc(self, slice_id: int, line: int) -> bool:
+        """Make room for ``line`` in its LLC slice set.  Returns False when
+        every victim candidate is pinned by some core."""
+        slice_array = self.slices[slice_id]
+        if not slice_array.needs_victim(line):
+            return True
+        victim = slice_array.pick_victim(
+            line, evictable=lambda v: not self._line_pinned_anywhere(v))
+        if victim is None:
+            return False
+        dir_entry: DirEntry = slice_array.lookup(victim, touch=False)
+        # inclusive hierarchy: back-invalidate every private copy
+        for holder in dir_entry.holders():
+            holder_l1 = self.l1s[holder]
+            if holder_l1.invalidate(victim):
+                self.network.send(slice_id, holder, "back_inv")
+                self.ports[holder].on_line_evicted(victim)
+        slice_array.invalidate(victim)
+        self.stats.bump("llc_evictions")
+        return True
+
+    # ------------------------------------------------------------------
+    # Write path (write-buffer drains and atomics)
+    # ------------------------------------------------------------------
+
+    def store(self, core_id: int, line: int, on_complete: Callback) -> None:
+        """Perform a retired store to ``line`` (drained from the write
+        buffer).  Completes when the data is merged into the cache in M."""
+        self.stats.bump("stores")
+        l1 = self.l1s[core_id]
+        state = l1.lookup(line)
+        if state is not None and state.writable:
+            l1.set_state(line, LineState.MODIFIED)
+            done = self.events.now + self.config.l1d.latency
+            self.events.schedule(done, lambda: on_complete(done))
+            return
+        slice_id = slice_of(line, self.num_slices)
+        lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
+                                                          "getX")
+        key = (core_id, line)
+        if key not in self._write_txns:
+            self._write_txns[key] = _WriteTxn()
+        self.events.schedule_after(
+            lat, lambda: self._dir_write(core_id, line, slice_id,
+                                         on_complete))
+
+    def _dir_write(self, core_id: int, line: int, slice_id: int,
+                   on_complete: Callback) -> None:
+        if line in self._busy_lines:
+            self.events.schedule_after(
+                self._retry_backoff,
+                lambda: self._dir_write(core_id, line, slice_id, on_complete))
+            return
+        txn = self._write_txns[(core_id, line)]
+        txn.attempts += 1
+        slice_array = self.slices[slice_id]
+        dir_entry: Optional[DirEntry] = slice_array.lookup(line)
+        lat = self.config.llc_slice.latency
+        if dir_entry is None:
+            if not self._allocate_llc(slice_id, line):
+                self.stats.bump("eviction_retries")
+                self.events.schedule_after(
+                    self._retry_backoff,
+                    lambda: self._dir_write(core_id, line, slice_id,
+                                            on_complete))
+                return
+            dir_entry = DirEntry()
+            slice_array.fill(line, dir_entry)
+            lat += self.config.dram_latency
+            self.stats.bump("llc_misses")
+        others = dir_entry.holders() - {core_id}
+        use_inv_star = txn.attempts > 1
+        deferred = False
+        inv_lat = 0
+        for other in others:
+            kind = "inv_star" if use_inv_star else "inv"
+            inv_lat = max(inv_lat, 2 * self.network.send(slice_id, other,
+                                                         kind))
+            if use_inv_star:
+                self.ports[other].cpt_insert(line, writer=core_id)
+                txn.inv_star_recipients.add(other)
+            if self.ports[other].has_pinned(line):
+                # sharer answers Defer: keep the copy, deny the invalidation
+                self.network.send(other, core_id, "defer")
+                deferred = True
+            elif use_inv_star:
+                # Inv* recipients without a pin invalidate immediately
+                self._remote_invalidate(other, line, dir_entry)
+        if deferred:
+            # writer aborts; directory state is unchanged (Figure 3b/5a)
+            self.network.send(core_id, slice_id, "abort")
+            self.stats.bump("write_retries")
+            self.events.schedule_after(
+                self._retry_backoff + inv_lat,
+                lambda: self._dir_write(core_id, line, slice_id, on_complete))
+            return
+        # success: invalidate remaining plain-Inv sharers, grant M
+        if not use_inv_star:
+            for other in others:
+                self._remote_invalidate(other, line, dir_entry)
+        if txn.inv_star_recipients:
+            for recipient in txn.inv_star_recipients:
+                self.network.send(slice_id, recipient, "clear")
+                self.ports[recipient].cpt_clear(line)
+        del self._write_txns[(core_id, line)]
+        dir_entry.make_owner(core_id)
+        lat += inv_lat + self.network.send(slice_id, core_id, "data")
+        self._busy_lines.add(line)
+        done = self.events.now + lat
+        self.events.schedule(
+            done, lambda: self._finish_write(core_id, line, on_complete))
+
+    def _remote_invalidate(self, core_id: int, line: int,
+                           dir_entry: DirEntry) -> None:
+        """Invalidate a sharer's L1 copy; triggers its MCV-squash check."""
+        l1 = self.l1s[core_id]
+        if l1.invalidate(line):
+            self.stats.bump("invalidations")
+            self.ports[core_id].on_invalidation(line)
+        dir_entry.drop(core_id)
+
+    def _finish_write(self, core_id: int, line: int,
+                      on_complete: Callback) -> None:
+        self._busy_lines.discard(line)
+        l1 = self.l1s[core_id]
+        port = self.ports[core_id]
+        if l1.lookup(line, touch=False) is None:
+            if l1.needs_victim(line):
+                victim = l1.pick_victim(line, evictable=lambda v:
+                                        not port.has_pinned(v))
+                if victim is None:
+                    self.stats.bump("eviction_retries")
+                    self.events.schedule_after(
+                        self._retry_backoff,
+                        lambda: self._finish_write(core_id, line,
+                                                   on_complete))
+                    return
+                self._evict_l1(core_id, victim)
+            l1.fill(line, LineState.MODIFIED)
+        else:
+            l1.set_state(line, LineState.MODIFIED)
+        on_complete(self.events.now)

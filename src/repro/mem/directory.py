@@ -1,0 +1,49 @@
+"""Directory state co-located with the inclusive LLC (Table 1: MESI).
+
+Each resident LLC line carries a ``DirEntry`` recording its sharers and, if
+some core holds it writable (M/E), the owner.  The hierarchy is inclusive:
+evicting an LLC line back-invalidates every private copy, which is exactly
+the eviction path that Pinned Loads must be able to deny (paper §5.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+
+class DirEntry:
+    """Sharer/owner bookkeeping for one cached line."""
+
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+
+    def holders(self) -> Set[int]:
+        """Every core that may hold a private copy of the line."""
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+    def add_sharer(self, core_id: int) -> None:
+        self.sharers.add(core_id)
+
+    def make_owner(self, core_id: int) -> None:
+        self.owner = core_id
+        self.sharers.clear()
+
+    def downgrade_owner(self) -> None:
+        """Owner loses exclusivity (a read hit an M/E line): M/E -> S."""
+        if self.owner is not None:
+            self.sharers.add(self.owner)
+            self.owner = None
+
+    def drop(self, core_id: int) -> None:
+        self.sharers.discard(core_id)
+        if self.owner == core_id:
+            self.owner = None
+
+    def __repr__(self) -> str:
+        return f"DirEntry(sharers={sorted(self.sharers)}, owner={self.owner})"

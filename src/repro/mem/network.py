@@ -1,0 +1,45 @@
+"""Ordered mesh interconnect model (Table 1: 4x2 mesh, 1 cycle/hop).
+
+We model latency and traffic, not link contention: every protocol message
+contributes Manhattan-distance hop latency and bumps a per-type traffic
+counter.  Cores and LLC/directory slices are co-located one per mesh node,
+as in the simulated machine.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import NetworkParams
+from repro.common.stats import StatSet
+
+
+class MeshNetwork:
+    """Latency/traffic model of the on-chip network."""
+
+    def __init__(self, params: NetworkParams) -> None:
+        self.params = params
+        self.stats = StatSet()
+
+    def _coords(self, node: int):
+        return node % self.params.mesh_cols, node // self.params.mesh_cols
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two mesh nodes."""
+        sx, sy = self._coords(src)
+        dx, dy = self._coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        return self.hops(src, dst) * self.params.hop_latency
+
+    def send(self, src: int, dst: int, kind: str) -> int:
+        """Account one message and return its latency."""
+        self.stats.bump("messages")
+        self.stats.bump(f"msg_{kind}")
+        lat = self.latency(src, dst)
+        self.stats.bump("hop_cycles", lat)
+        return lat
+
+    def message_count(self, kind: str = None) -> float:
+        if kind is None:
+            return self.stats["messages"]
+        return self.stats[f"msg_{kind}"]

@@ -1,0 +1,66 @@
+"""Per-core FIFO write buffer.
+
+TSO forbids store→store reordering, so retired stores drain to the coherent
+memory system strictly in order (paper §2).  The buffer's *free capacity* is
+also a pinning precondition: a load may only be pinned if every
+yet-to-complete older store fits in the buffer (paper §5.1.2, Figure 4's
+deadlock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class WriteBufferEntry:
+    __slots__ = ("line", "draining")
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+        self.draining = False
+
+
+class WriteBuffer:
+    """A bounded FIFO of retired-but-unperformed stores (line granularity)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("write buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[WriteBufferEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def push(self, line: int) -> WriteBufferEntry:
+        """Deposit a retiring store.  Caller must check ``full`` first."""
+        if self.full:
+            raise OverflowError("write buffer full")
+        entry = WriteBufferEntry(line)
+        self._entries.append(entry)
+        return entry
+
+    def head(self) -> Optional[WriteBufferEntry]:
+        return self._entries[0] if self._entries else None
+
+    def contains_line(self, line: int) -> bool:
+        """Is a retired-but-unperformed store to ``line`` buffered?  Used
+        for store-to-load forwarding from the write buffer."""
+        return any(entry.line == line for entry in self._entries)
+
+    def pop(self) -> WriteBufferEntry:
+        """Remove the head entry once its write has performed."""
+        return self._entries.popleft()
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries

@@ -1,0 +1,9 @@
+"""Pinned Loads: the paper's primary contribution (LP/EP, CST, CPT)."""
+
+from repro.pinning.controller import PinnedLoadsController
+from repro.pinning.cpt import CannotPinTable
+from repro.pinning.cst import CacheShadowTable
+from repro.pinning.recording import L1TagPinRecord
+
+__all__ = ["CacheShadowTable", "CannotPinTable", "L1TagPinRecord",
+           "PinnedLoadsController"]

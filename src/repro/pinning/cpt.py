@@ -1,0 +1,115 @@
+"""Cannot-Pin Table (paper §5.1.5, §6.3).
+
+A small per-core table of line addresses the core must not pin right now.
+Lines arrive via ``Inv*`` (a starving writer's retry) and leave via
+``Clear`` (the write finally succeeded).  If the table fills and an insert
+fails, the core stops pinning loads until the table is half empty — the
+paper's overflow rule (§6.3/§6.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+from repro.common.stats import StatSet
+
+
+class CannotPinTable:
+    """Bounded set of un-pinnable lines with overflow bookkeeping.
+
+    With ``reservation_queue`` the §6.3 "more advanced design" is enabled:
+    a writer whose ``Inv*`` found the table full is remembered in a small
+    FIFO, and the next entry that frees up is *reserved* for it, so no
+    writer can be shut out of the CPT indefinitely.
+    """
+
+    def __init__(self, capacity: int = 4, ideal: bool = False,
+                 reservation_queue: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("CPT capacity must be >= 1")
+        self.capacity = capacity
+        self.ideal = ideal
+        self.reservation_queue = reservation_queue
+        self._lines: Set[int] = set()
+        self._waiting_writers: Deque[int] = deque()
+        self._entitled_writers: Set[int] = set()
+        self._overflowed = False
+        self.stats = StatSet()
+        self._occupancy_sum = 0
+        self._samples = 0
+        self.max_occupancy = 0
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def _has_room_for(self, writer: Optional[int]) -> bool:
+        if (self.reservation_queue and writer is not None
+                and writer in self._entitled_writers):
+            # a previously refused writer spends its reserved slot
+            self._entitled_writers.discard(writer)
+            self.stats.bump("reservations_used")
+            return True
+        # slots reserved for entitled writers are invisible to others
+        reserved = len(self._entitled_writers) if self.reservation_queue \
+            else 0
+        return len(self._lines) + reserved < self.capacity
+
+    def insert(self, line: int, writer: Optional[int] = None) -> bool:
+        """Record an ``Inv*``; returns False on overflow (entry refused).
+
+        ``writer`` identifies the starving writer core; with the
+        reservation queue enabled a refused writer is queued and the next
+        released entry is reserved for it (§6.3).
+        """
+        self.stats.bump("insert_attempts")
+        if line in self._lines:
+            self._sample()
+            return True
+        if not self.ideal and not self._has_room_for(writer):
+            self.stats.bump("overflows")
+            self._overflowed = True
+            if (self.reservation_queue and writer is not None
+                    and writer not in self._waiting_writers
+                    and writer not in self._entitled_writers):
+                self._waiting_writers.append(writer)
+                self.stats.bump("writers_queued")
+            self._sample()
+            return False
+        self._lines.add(line)
+        self.max_occupancy = max(self.max_occupancy, len(self._lines))
+        self._sample()
+        return True
+
+    def remove(self, line: int) -> None:
+        """A ``Clear`` arrived: the starving write succeeded."""
+        if line in self._lines:
+            self._lines.discard(line)
+            if self.reservation_queue and self._waiting_writers:
+                # the freed entry is reserved for the head-of-queue writer
+                self._entitled_writers.add(self._waiting_writers.popleft())
+        if self._overflowed and len(self._lines) <= self.capacity // 2:
+            self._overflowed = False
+        self._sample()
+
+    @property
+    def pinning_blocked(self) -> bool:
+        """After an overflow, pinning stays blocked until half empty."""
+        return self._overflowed
+
+    def _sample(self) -> None:
+        self._occupancy_sum += len(self._lines)
+        self._samples += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self._occupancy_sum / self._samples if self._samples else 0.0
+
+    @property
+    def overflow_rate(self) -> float:
+        """Overflows per insert attempt (paper reports < 0.0001)."""
+        attempts = self.stats["insert_attempts"]
+        return self.stats["overflows"] / attempts if attempts else 0.0

@@ -1,0 +1,17 @@
+"""The Fence defense: stall every speculative load until its VP."""
+
+from __future__ import annotations
+
+from repro.core.rob import ROBEntry
+from repro.security.scheme import DefenseScheme
+
+
+class FenceScheme(DefenseScheme):
+    """Equivalent to inserting a load-stalling fence before each load; the
+    fence is removed when the load reaches its VP (paper §3.1).  This is the
+    highest-overhead baseline of Table 2."""
+
+    name = "fence"
+
+    def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        return False

@@ -1,0 +1,46 @@
+"""Invisible speculation: an InvisiSpec-class defense scheme.
+
+Pre-VP loads execute *invisibly* — the data is fetched without changing
+any cache or directory state, so the access leaves no microarchitectural
+trace an attacker could observe.  The cost is a second access: when the
+load reaches its Visibility Point it must be **validated** with an
+ordinary (visible) access, and it cannot retire until the validation
+completes (Yan et al., MICRO'18; the paper's §1/§4 cite this class of
+defense as one Pinned Loads can augment).
+
+Fidelity simplifications (documented in DESIGN.md):
+
+* no speculative buffer — every invisible load pays the full memory
+  latency rather than hitting a peer's in-flight fetch;
+* validation mismatches are not value-compared; instead, invisible
+  performed loads remain subject to the TSO invalidation/eviction squash,
+  which fires in exactly the situations where a validation would fail.
+
+Pinned Loads helps this scheme the same way it helps the others: the VP
+arrives sooner, so validations start (and retirement unblocks) earlier.
+"""
+
+from __future__ import annotations
+
+from repro.core.rob import ROBEntry
+from repro.security.scheme import DefenseScheme, IssueMode
+
+
+class InvisibleSpecScheme(DefenseScheme):
+    """Pre-VP loads issue invisibly and validate at their VP."""
+
+    name = "invisi"
+
+    def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        return True
+
+    def pre_vp_issue_mode(self, entry: ROBEntry) -> IssueMode:
+        return IssueMode.INVISIBLE
+
+    def on_load_vp(self, entry: ROBEntry) -> None:
+        """The load is no longer squashable: expose it.  A load that
+        performed invisibly needs its validation access; one that never
+        issued will simply issue normally now."""
+        if entry.invisible and not entry.validated \
+                and not entry.squashed:
+            self.core.issue_validation(entry)

@@ -1,0 +1,18 @@
+"""Speculative Taint Tracking: stall loads whose addresses are tainted."""
+
+from __future__ import annotations
+
+from repro.core.rob import ROBEntry
+from repro.security.scheme import DefenseScheme
+
+
+class STTScheme(DefenseScheme):
+    """Pre-VP loads execute freely unless their address operands are derived
+    from transiently-read data (a pre-VP load's output).  Untainting happens
+    when the producing load reaches its VP — which is exactly the event
+    Pinned Loads accelerates (paper §3.1)."""
+
+    name = "stt"
+
+    def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        return not self.core.taint.addr_tainted(entry)

@@ -1,0 +1,68 @@
+"""Speculative taint tracking for the STT defense scheme.
+
+STT (Yu et al., MICRO'19) lets loads execute speculatively *unless* their
+address operands are tainted, i.e. derived from a load that has not yet
+reached its Visibility Point.  When a load reaches its VP, its output —
+and transitively everything computed from it — becomes untainted.
+
+We track, per uop, the set of *root loads* in its dataflow backward slice
+(``output_roots``).  A value is currently tainted iff any of its root loads
+is still in flight and pre-VP, so untaint-on-VP is a O(roots) liveness check
+at query time instead of an eager broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.rob import ReorderBuffer, ROBEntry
+from repro.isa.uops import MicroOp
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class TaintTracker:
+    """Per-core STT taint state."""
+
+    def __init__(self, rob: ReorderBuffer) -> None:
+        self._rob = rob
+        self._output_roots: Dict[int, FrozenSet[int]] = {}
+
+    def on_dispatch(self, uop: MicroOp) -> None:
+        """Record the taint roots of this uop's output.
+
+        A load's output is rooted at the load itself; any other uop's output
+        unions its operands' roots.  Re-dispatch after a squash overwrites
+        the stale entry.
+        """
+        if uop.is_load:
+            self._output_roots[uop.index] = frozenset((uop.index,))
+            return
+        roots = _EMPTY
+        for dep in uop.deps:
+            dep_roots = self._output_roots.get(dep, _EMPTY)
+            if dep_roots:
+                roots = roots | self._live_subset(dep_roots)
+        self._output_roots[uop.index] = roots
+
+    def _live_subset(self, roots: FrozenSet[int]) -> FrozenSet[int]:
+        """Drop roots that are already architectural (retired / post-VP)."""
+        live = [r for r in roots if self._is_live_pre_vp(r)]
+        if len(live) == len(roots):
+            return roots
+        return frozenset(live)
+
+    def _is_live_pre_vp(self, root_index: int) -> bool:
+        entry: Optional[ROBEntry] = self._rob.find(root_index)
+        return entry is not None and entry.vp_cycle is None
+
+    def addr_tainted(self, entry: ROBEntry) -> bool:
+        """Is the load's address derived from a pre-VP speculative load?"""
+        for dep in entry.uop.deps:
+            for root in self._output_roots.get(dep, _EMPTY):
+                if self._is_live_pre_vp(root):
+                    return True
+        return False
+
+    def output_roots(self, index: int) -> FrozenSet[int]:
+        return self._output_roots.get(index, _EMPTY)

@@ -1,0 +1,105 @@
+"""Visibility-Point condition evaluation.
+
+A load reaches its VP when it is no longer vulnerable to any squash the
+threat model considers (paper §1).  The conditions are cumulative across
+``ThreatModel`` levels; the same evaluator therefore serves the Spectre
+model (level CTRL), the Comprehensive model (level MCV), and the two
+intermediate levels used by the Figure 1 / Figure 9 breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import PinningMode, ThreatModel
+from repro.core.rob import ReorderBuffer, ROBEntry
+from repro.core.tracking import LazyMinSet
+
+
+class VPState:
+    """The per-core order-tracking sets the VP conditions read.
+
+    Maintained incrementally by the pipeline:
+
+    * ``unresolved_branches`` — dispatched branches not yet executed.
+    * ``unknown_addr_stores`` — stores whose address is not yet generated
+      (the aliasing window).
+    * ``unknown_addr_memops`` — loads *and* stores without a translated
+      address (the exception window).
+    * ``unretired_loads`` — loads still in the ROB (the MCV window).
+    * ``serializing`` — in-flight MFENCE/LOCK/barrier uops; no younger load
+      may be pinned past one (paper §5).
+    """
+
+    def __init__(self) -> None:
+        self.unresolved_branches = LazyMinSet()
+        self.unknown_addr_stores = LazyMinSet()
+        self.unknown_addr_memops = LazyMinSet()
+        self.unretired_loads = LazyMinSet()
+        self.serializing = LazyMinSet()
+
+    def clear(self) -> None:
+        for tracker in (self.unresolved_branches, self.unknown_addr_stores,
+                        self.unknown_addr_memops, self.unretired_loads,
+                        self.serializing):
+            tracker.clear()
+
+
+def conditions_before_mcv(entry: ROBEntry, level: int, vp: VPState) -> bool:
+    """Check the VP conditions below the MCV one, up to ``level``.
+
+    Level numbering follows ``ThreatModel``: 1 = branches only, 2 = +alias,
+    3 = +exceptions.  A load must additionally have generated its own
+    address before any level is satisfied (it could fault in translation).
+    """
+    index = entry.index
+    if not entry.addr_ready:
+        return False
+    if not vp.unresolved_branches.none_below(index):
+        return False
+    if level >= ThreatModel.ALIAS.level \
+            and not vp.unknown_addr_stores.none_below(index):
+        return False
+    if level >= ThreatModel.EXCEPT.level \
+            and not vp.unknown_addr_memops.none_below(index):
+        return False
+    return True
+
+
+def vp_reached(entry: ROBEntry, model: ThreatModel, pinning: PinningMode,
+               vp: VPState, rob: ReorderBuffer,
+               aggressive_tso: bool = True) -> bool:
+    """Has ``entry`` (a load) reached its Visibility Point?
+
+    For the MCV condition: without pinning, a load is only guaranteed free
+    of MCV squashes when it is the oldest load in the ROB (aggressive TSO,
+    §3.3) — or at the very head of the ROB under the conservative rule.
+    With pinning, the pinning controller sets ``entry.mcv_safe`` and that
+    flag *is* the condition.
+    """
+    if not conditions_before_mcv(entry, model.level, vp):
+        return False
+    if model.level < ThreatModel.MCV.level:
+        return True
+    if pinning is not PinningMode.NONE:
+        return entry.mcv_safe
+    if aggressive_tso:
+        # oldest load in the ROB: invalidations/evictions never squash it
+        return vp.unretired_loads.none_below(entry.index)
+    return rob.is_head(entry)
+
+
+def first_blocking_condition(entry: ROBEntry, vp: VPState) -> Optional[str]:
+    """Diagnostic: which VP condition currently blocks this load (if any)."""
+    index = entry.index
+    if not entry.addr_ready:
+        return "addr"
+    if not vp.unresolved_branches.none_below(index):
+        return "ctrl"
+    if not vp.unknown_addr_stores.none_below(index):
+        return "alias"
+    if not vp.unknown_addr_memops.none_below(index):
+        return "exception"
+    if not vp.unretired_loads.none_below(index):
+        return "mcv"
+    return None

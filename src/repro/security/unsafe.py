@@ -1,0 +1,20 @@
+"""The Unsafe baseline: an unmodified out-of-order TSO processor."""
+
+from __future__ import annotations
+
+from repro.core.rob import ROBEntry
+from repro.security.scheme import DefenseScheme
+
+
+class UnsafeScheme(DefenseScheme):
+    """No protection: loads issue as soon as their operands are ready.
+
+    The Unsafe machine still obeys TSO, so it still suffers MCV squashes on
+    invalidations and evictions — it just never *stalls* a speculative load.
+    """
+
+    name = "unsafe"
+    gates_issue = False
+
+    def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        return True

@@ -1,0 +1,54 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.params import SystemConfig
+
+
+@dataclass
+class SimResult:
+    """Everything the evaluation harness needs from one run."""
+
+    workload_name: str
+    config: SystemConfig
+    cycles: int
+    instructions: int
+    core_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    mem_stats: Dict[str, float] = field(default_factory=dict)
+    network_stats: Dict[str, float] = field(default_factory=dict)
+    pinning_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(self.instructions, 1)
+
+    def normalized_cpi(self, baseline: "SimResult") -> float:
+        """Normalized CPI relative to a baseline run of the *same* workload
+        (the paper normalizes everything to the Unsafe machine)."""
+        if baseline.workload_name != self.workload_name:
+            raise ValueError("normalizing against a different workload")
+        return self.cycles / baseline.cycles
+
+    def total(self, stat: str) -> float:
+        """Sum of a per-core statistic across cores."""
+        return sum(stats.get(stat, 0.0) for stats in self.core_stats.values())
+
+    def per_million_insns(self, value: float) -> float:
+        return value * 1e6 / max(self.instructions, 1)
+
+    def squash_summary(self) -> Dict[str, float]:
+        return {
+            "branch": self.total("squashes_branch"),
+            "alias": self.total("squashes_alias"),
+            "mcv_inval": self.total("squashes_mcv_inval"),
+            "mcv_evict": self.total("squashes_mcv_evict"),
+        }
+
+    def describe(self) -> str:
+        pin = self.config.pinning.mode.value
+        return (f"{self.workload_name}: {self.config.defense.value}"
+                f"/{self.config.threat_model.name}/{pin} "
+                f"cycles={self.cycles} CPI={self.cpi:.3f}")

@@ -1,0 +1,91 @@
+"""Run experiments: one (config, workload) simulation at a time, with a
+process-wide memo so the benchmark harnesses can share baseline runs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.params import (COMPREHENSIVE, DefenseKind, PinningMode,
+                                 SystemConfig, ThreatModel)
+from repro.isa.trace import Workload
+from repro.sim.results import SimResult
+from repro.sim.system import System
+
+
+def run_simulation(config: SystemConfig, workload: Workload,
+                   warm: bool = True) -> SimResult:
+    """Build a system, run the workload to completion, collect results.
+
+    ``warm`` functionally pre-touches the workload's footprint so the timed
+    run starts from cache steady state (the paper warms up 1M instructions
+    before measuring each interval).
+    """
+    system = System(config, workload)
+    if warm:
+        system.mem.warm(workload)
+    cycles = system.run()
+    result = SimResult(
+        workload_name=workload.name,
+        config=config,
+        cycles=cycles,
+        instructions=workload.total_instructions,
+        core_stats={core.core_id: core.stats.as_dict()
+                    for core in system.cores},
+        mem_stats=system.mem.stats.as_dict(),
+        network_stats=system.mem.network.stats.as_dict(),
+        pinning_stats={core.core_id: core.controller.stats.as_dict()
+                       for core in system.cores},
+    )
+    # pull CST/CPT summary metrics up into the per-core pinning stats
+    for core in system.cores:
+        stats = result.pinning_stats[core.core_id]
+        controller = core.controller
+        stats["cst_l1_fp_rate"] = controller.false_positive_rate("l1")
+        stats["cst_dir_fp_rate"] = controller.false_positive_rate("dir")
+        stats["cpt_mean_occupancy"] = controller.cpt.mean_occupancy
+        stats["cpt_max_occupancy"] = controller.cpt.max_occupancy
+        stats["cpt_overflow_rate"] = controller.cpt.overflow_rate
+    return result
+
+
+class ExperimentCache:
+    """Memoizes runs by (workload factory key, config key).
+
+    Workloads are deterministic functions of their profile + seed, and
+    configs are frozen dataclasses, so results are safely shareable across
+    benchmark files (e.g. Figure 9 reuses every Figure 7/8 run).
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple, SimResult] = {}
+
+    def run(self, config: SystemConfig, workload: Workload,
+            key: Optional[str] = None) -> SimResult:
+        # SystemConfig is a frozen dataclass tree, hence hashable
+        cache_key = (key or workload.name, config)
+        result = self._results.get(cache_key)
+        if result is None:
+            result = run_simulation(config, workload)
+            self._results[cache_key] = result
+        return result
+
+    def clear(self) -> None:
+        self._results.clear()
+
+
+#: Shared cache for the benchmark harnesses.
+GLOBAL_CACHE = ExperimentCache()
+
+
+def scheme_grid() -> Dict[str, Tuple[DefenseKind, ThreatModel, PinningMode]]:
+    """The (defense x extension) grid of Tables 2/3: for each of Fence,
+    DOM, and STT, the Comp / LP / EP / Spectre configurations."""
+    grid: Dict[str, Tuple[DefenseKind, ThreatModel, PinningMode]] = {}
+    for defense in (DefenseKind.FENCE, DefenseKind.DOM, DefenseKind.STT):
+        name = defense.value
+        grid[f"{name}-comp"] = (defense, COMPREHENSIVE, PinningMode.NONE)
+        grid[f"{name}-lp"] = (defense, COMPREHENSIVE, PinningMode.LATE)
+        grid[f"{name}-ep"] = (defense, COMPREHENSIVE, PinningMode.EARLY)
+        grid[f"{name}-spectre"] = (defense, ThreatModel.CTRL,
+                                   PinningMode.NONE)
+    return grid

@@ -1,0 +1,92 @@
+"""System assembly and the main simulation loop."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.common.events import EventQueue
+from repro.common.params import SystemConfig
+from repro.core.pipeline import Core
+from repro.isa.trace import Workload
+from repro.mem.coherence import CoherentMemory
+
+
+class BarrierManager:
+    """Global rendezvous for BARRIER uops in multithreaded workloads.
+
+    A barrier releases once every participating core has arrived; arrival
+    happens when the barrier uop reaches the head of its core's ROB, so a
+    released barrier can never be squashed.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self._arrived: Dict[int, Set[int]] = {}
+        self._released: Set[int] = set()
+
+    def arrive(self, barrier_id: int, core_id: int) -> None:
+        arrived = self._arrived.setdefault(barrier_id, set())
+        arrived.add(core_id)
+        if len(arrived) >= self.num_cores:
+            self._released.add(barrier_id)
+
+    def released(self, barrier_id: int) -> bool:
+        return barrier_id in self._released
+
+
+class System:
+    """A configured multicore machine bound to one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload) -> None:
+        config.validate()
+        if workload.num_threads != config.num_cores:
+            raise ConfigError(
+                f"workload has {workload.num_threads} threads but the "
+                f"system has {config.num_cores} cores")
+        self.config = config
+        self.workload = workload
+        self.events = EventQueue()
+        self.mem = CoherentMemory(config, self.events)
+        self.barriers = BarrierManager(config.num_cores)
+        self.cores: List[Core] = [
+            Core(core_id, config, trace, self.mem, self.events,
+                 self.barriers)
+            for core_id, trace in enumerate(workload.traces)]
+        self.cycles = 0
+
+    def run(self, max_cycles: int = 50_000_000) -> int:
+        """Run to completion of every trace; returns total cycles."""
+        cycle = 0
+        last_progress_cycle = 0
+        last_retired = -1
+        deadlock_window = self.config.deadlock_cycles
+        cores = self.cores
+        events = self.events
+        while True:
+            cycle += 1
+            events.run_until(cycle)
+            all_done = True
+            for core in cores:
+                if not core.done:
+                    core.tick(cycle)
+                    if not core.done:
+                        all_done = False
+            if all_done:
+                break
+            retired = sum(core.retired for core in cores)
+            if retired != last_retired:
+                last_retired = retired
+                last_progress_cycle = cycle
+            elif cycle - last_progress_cycle > deadlock_window:
+                detail = "; ".join(repr(core) for core in cores
+                                   if not core.done)
+                raise DeadlockError(cycle, detail)
+            if cycle >= max_cycles:
+                raise DeadlockError(cycle, "max_cycles exceeded")
+        self.cycles = cycle
+        return cycle
+
+    @property
+    def total_retired(self) -> int:
+        return sum(core.retired for core in self.cores)

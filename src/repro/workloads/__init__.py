@@ -1,0 +1,20 @@
+"""Workload profiles and deterministic synthetic trace generation."""
+
+from repro.workloads.calibrate import CalibrationReport, calibrate
+from repro.workloads.generator import build_trace, build_workload
+from repro.workloads.parallel import (PARALLEL_NAMES, PARALLEL_PROFILES,
+                                      parallel_profile, parallel_workload)
+from repro.workloads.parsec import PARSEC_NAMES, PARSEC_PROFILES
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec17 import (SPEC17_NAMES, SPEC17_PROFILES,
+                                    spec17_profile, spec17_workload)
+from repro.workloads.splash2 import SPLASH2_NAMES, SPLASH2_PROFILES
+
+__all__ = [
+    "CalibrationReport", "calibrate",
+    "PARALLEL_NAMES", "PARALLEL_PROFILES", "PARSEC_NAMES",
+    "PARSEC_PROFILES", "SPEC17_NAMES", "SPEC17_PROFILES", "SPLASH2_NAMES",
+    "SPLASH2_PROFILES", "WorkloadProfile", "build_trace", "build_workload",
+    "parallel_profile", "parallel_workload", "spec17_profile",
+    "spec17_workload",
+]

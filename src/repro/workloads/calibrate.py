@@ -1,0 +1,92 @@
+"""Workload calibration: measure what a profile actually produces.
+
+The synthetic suites stand in for SPEC17/SPLASH2/PARSEC, so it matters
+that a profile's *intent* (miss fractions, branch behaviour, dependence
+structure) survives trace generation and simulation.  This module runs a
+workload on the Unsafe machine and reports the achieved characteristics
+next to the profile's targets — the evidence behind DESIGN.md's
+substitution argument, and a tuning tool for new profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.params import SystemConfig
+from repro.isa.uops import OpClass
+from repro.sim.results import SimResult
+from repro.sim.runner import run_simulation
+from repro.workloads.generator import build_workload
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Achieved workload characteristics vs. the profile's targets."""
+
+    profile: WorkloadProfile
+    unsafe_cpi: float
+    load_mix: float                 # fraction of uops that are loads
+    branch_mix: float
+    l1_load_miss_rate: float        # misses / memory loads issued
+    mispredict_per_branch: float
+    load_dependence_frac: float     # loads addressed by an older load
+
+    def mix_error(self) -> float:
+        """Largest absolute deviation of the instruction mix."""
+        return max(abs(self.load_mix - self.profile.load_frac),
+                   abs(self.branch_mix - self.profile.branch_frac))
+
+    def miss_rate_error(self) -> float:
+        """Deviation of the achieved L1 load miss rate from the target.
+
+        The achieved rate includes conflict/eviction misses on top of the
+        profile's warm/stream fractions, so modest positive error is
+        expected."""
+        return self.l1_load_miss_rate - self.profile.l1_miss_frac
+
+    def summary(self) -> str:
+        p = self.profile
+        return (
+            f"{p.name}: CPI={self.unsafe_cpi:.2f}  "
+            f"loads {self.load_mix:.3f} (target {p.load_frac:.3f})  "
+            f"branches {self.branch_mix:.3f} (target {p.branch_frac:.3f})  "
+            f"L1 load miss {self.l1_load_miss_rate:.3f} "
+            f"(target {p.l1_miss_frac:.3f})  "
+            f"mispredict/branch {self.mispredict_per_branch:.3f} "
+            f"(target {p.mispredict_rate:.3f})")
+
+
+def calibrate(profile: WorkloadProfile, instructions: int = 4000,
+              num_threads: int = 1, seed: int = 1,
+              config: Optional[SystemConfig] = None) -> CalibrationReport:
+    """Generate, simulate (Unsafe), and measure one profile."""
+    workload = build_workload(profile, num_threads=num_threads, seed=seed,
+                              instructions_per_thread=instructions)
+    if config is None:
+        config = SystemConfig(num_cores=num_threads)
+    result: SimResult = run_simulation(config, workload)
+    total = workload.total_instructions
+    loads = sum(trace.count(OpClass.LOAD) for trace in workload.traces)
+    branches = sum(trace.count(OpClass.BRANCH)
+                   for trace in workload.traces)
+    mispredicted = sum(
+        sum(1 for uop in trace if uop.is_branch and uop.mispredicted)
+        for trace in workload.traces)
+    dependent = 0
+    for trace in workload.traces:
+        load_indices = {uop.index for uop in trace if uop.is_load}
+        dependent += sum(1 for uop in trace if uop.is_load
+                         and any(d in load_indices for d in uop.deps))
+    issued = max(result.mem_stats.get("loads", 0), 1)
+    return CalibrationReport(
+        profile=profile,
+        unsafe_cpi=result.cpi,
+        load_mix=loads / total,
+        branch_mix=branches / total,
+        l1_load_miss_rate=result.mem_stats.get("l1_load_misses", 0)
+        / issued,
+        mispredict_per_branch=mispredicted / max(branches, 1),
+        load_dependence_frac=dependent / max(loads, 1),
+    )

@@ -1,0 +1,217 @@
+"""Synthetic trace generation from workload profiles.
+
+Traces are deterministic functions of (profile, seed, thread layout), so a
+benchmark's Unsafe baseline and every defended configuration execute the
+*identical* instruction stream — normalized CPI is then purely a hardware
+effect, as in the paper's methodology.
+
+Address-space layout (line numbers):
+
+* hot / warm / stream pools are private per thread (offset by thread id);
+* the shared read/write pool and the lock pool live at a common base so
+  that every thread touches the same lines (coherence traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.common.params import LINE_BYTES
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+from repro.workloads.profiles import WorkloadProfile
+
+_HOT_BASE = 0x0000_0000
+_WARM_BASE = 0x1000_0000
+_STREAM_BASE = 0x2000_0000
+_SHARED_BASE = 0x4000_0000
+_LOCK_BASE = 0x5000_0000
+_THREAD_STRIDE = 0x1_0000_0000
+_LOCK_POOL = 8
+
+
+class _TraceBuilder:
+    """Builds one thread's trace from a profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int, thread_id: int,
+                 num_threads: int, instructions: int) -> None:
+        profile.validate()
+        self.profile = profile
+        self.rng = random.Random((seed << 8) ^ thread_id)
+        self.thread_id = thread_id
+        self.num_threads = num_threads
+        self.instructions = instructions
+        self.uops: List[MicroOp] = []
+        self.producers: List[int] = []      # recent value-producing uops
+        self.last_load: Optional[int] = None
+        self.stream_next = 0
+        self.cs_remaining = 0               # uops left in a critical section
+        self.cs_lock_addr: Optional[int] = None
+
+    # -- address pools -------------------------------------------------
+
+    def _private(self, base: int) -> int:
+        return base + self.thread_id * _THREAD_STRIDE
+
+    def _hot_addr(self) -> int:
+        line = self.rng.randrange(self.profile.hot_lines)
+        return self._private(_HOT_BASE) + line * LINE_BYTES
+
+    def _warm_addr(self) -> int:
+        line = self.rng.randrange(self.profile.warm_lines)
+        return self._private(_WARM_BASE) + line * LINE_BYTES
+
+    def _stream_addr(self) -> int:
+        line = self.stream_next
+        self.stream_next += 1
+        return self._private(_STREAM_BASE) + line * LINE_BYTES
+
+    def _shared_addr(self) -> int:
+        line = self.rng.randrange(self.profile.shared_lines)
+        return _SHARED_BASE + line * LINE_BYTES
+
+    def _lock_addr(self) -> int:
+        line = self.rng.randrange(_LOCK_POOL)
+        return _LOCK_BASE + line * LINE_BYTES
+
+    def _memory_addr(self, shared_frac: float) -> int:
+        roll = self.rng.random()
+        if self.num_threads > 1 and roll < shared_frac:
+            return self._shared_addr()
+        roll = self.rng.random()
+        if roll < self.profile.stream_frac:
+            return self._stream_addr()
+        if roll < self.profile.stream_frac + self.profile.warm_frac:
+            return self._warm_addr()
+        return self._hot_addr()
+
+    # -- dependence structure --------------------------------------------
+
+    def _pick_deps(self, count: int) -> tuple:
+        if not self.producers or count == 0:
+            return ()
+        window = self.producers[-self.profile.dep_window:]
+        picked = {self.rng.choice(window)
+                  for _ in range(min(count, len(window)))}
+        return tuple(sorted(picked))
+
+    # -- uop emitters ------------------------------------------------------
+
+    def _emit(self, uop: MicroOp, produces_value: bool) -> None:
+        self.uops.append(uop)
+        if produces_value:
+            self.producers.append(uop.index)
+
+    def _emit_load(self, index: int, shared: bool) -> None:
+        profile = self.profile
+        shared_frac = profile.read_shared_frac if shared else 0.0
+        if (self.last_load is not None
+                and self.rng.random() < profile.dependent_load_frac):
+            deps = (self.last_load,)    # pointer chase: address from a load
+        elif self.rng.random() < profile.addr_dep_frac:
+            deps = self._pick_deps(1)   # address from an in-flight value
+        else:
+            deps = ()                   # address from ready registers
+        addr = self._memory_addr(shared_frac)
+        uop = MicroOp(index, OpClass.LOAD, deps=deps, addr=addr)
+        self._emit(uop, produces_value=True)
+        self.last_load = index
+
+    def _emit_store(self, index: int) -> None:
+        addr = self._memory_addr(self.profile.write_shared_frac)
+        if self.rng.random() < self.profile.addr_dep_frac:
+            addr_deps = self._pick_deps(1)
+        else:
+            addr_deps = ()
+        data_deps = self._pick_deps(1)
+        self._emit(MicroOp(index, OpClass.STORE, deps=addr_deps, addr=addr,
+                           data_deps=data_deps), produces_value=False)
+
+    def _emit_branch(self, index: int) -> None:
+        mispredicted = self.rng.random() < self.profile.mispredict_rate
+        deps = self._pick_deps(1)
+        self._emit(MicroOp(index, OpClass.BRANCH, deps=deps,
+                           mispredicted=mispredicted), produces_value=False)
+
+    def _emit_alu(self, index: int) -> None:
+        opclass = (OpClass.FP_ALU
+                   if self.rng.random() < self.profile.fp_frac
+                   else OpClass.INT_ALU)
+        deps = self._pick_deps(2)
+        self._emit(MicroOp(index, opclass, deps=deps), produces_value=True)
+
+    def _emit_atomic(self, index: int, addr: int) -> None:
+        self._emit(MicroOp(index, OpClass.ATOMIC, deps=(), addr=addr),
+                   produces_value=True)
+
+    # -- main loop -----------------------------------------------------
+
+    def build(self) -> Trace:
+        profile = self.profile
+        barrier_every = (self.instructions // (profile.barriers + 1)
+                         if profile.barriers else 0)
+        barriers_emitted = 0
+        index = 0
+        body = 0
+        while body < self.instructions:
+            # global barriers at fixed points in each thread's trace
+            if (barrier_every and barriers_emitted < profile.barriers
+                    and body >= (barriers_emitted + 1) * barrier_every):
+                self._emit(MicroOp(index, OpClass.BARRIER,
+                                   barrier_id=barriers_emitted),
+                           produces_value=False)
+                barriers_emitted += 1
+                index += 1
+                continue
+            # critical sections: ATOMIC acquire ... body ... STORE release
+            if self.cs_remaining > 0:
+                self.cs_remaining -= 1
+                if self.cs_remaining == 0:
+                    self._emit(MicroOp(index, OpClass.STORE, deps=(),
+                                       addr=self.cs_lock_addr),
+                               produces_value=False)
+                    self.cs_lock_addr = None
+                    index += 1
+                    body += 1
+                    continue
+            elif (self.num_threads > 1 and profile.lock_frac > 0
+                    and self.rng.random() < profile.lock_frac):
+                self.cs_lock_addr = self._lock_addr()
+                self.cs_remaining = profile.cs_length
+                self._emit_atomic(index, self.cs_lock_addr)
+                index += 1
+                body += 1
+                continue
+            roll = self.rng.random()
+            if roll < profile.load_frac:
+                self._emit_load(index, shared=True)
+            elif roll < profile.load_frac + profile.store_frac:
+                self._emit_store(index)
+            elif roll < (profile.load_frac + profile.store_frac
+                         + profile.branch_frac):
+                self._emit_branch(index)
+            else:
+                self._emit_alu(index)
+            index += 1
+            body += 1
+        return Trace(self.uops, name=f"{profile.name}.t{self.thread_id}")
+
+
+def build_trace(profile: WorkloadProfile, seed: int = 1, thread_id: int = 0,
+                num_threads: int = 1,
+                instructions: Optional[int] = None) -> Trace:
+    """Generate one thread's deterministic trace for ``profile``."""
+    count = instructions or profile.default_instructions
+    builder = _TraceBuilder(profile, seed, thread_id, num_threads, count)
+    return builder.build()
+
+
+def build_workload(profile: WorkloadProfile, num_threads: int = 1,
+                   seed: int = 1,
+                   instructions_per_thread: Optional[int] = None) -> Workload:
+    """Generate a complete (possibly multithreaded) workload."""
+    traces = [build_trace(profile, seed, thread_id, num_threads,
+                          instructions_per_thread)
+              for thread_id in range(num_threads)]
+    return Workload(traces, name=profile.name)

@@ -1,0 +1,38 @@
+"""Multithreaded workload construction (SPLASH2 + PARSEC, 8 threads)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.trace import Workload
+from repro.workloads.generator import build_workload
+from repro.workloads.parsec import PARSEC_PROFILES
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.splash2 import SPLASH2_PROFILES
+
+PARALLEL_PROFILES: Dict[str, WorkloadProfile] = {}
+PARALLEL_PROFILES.update(SPLASH2_PROFILES)
+PARALLEL_PROFILES.update(PARSEC_PROFILES)
+
+#: Presentation order of Figure 8: SPLASH2 first, then PARSEC.
+PARALLEL_NAMES: List[str] = (sorted(SPLASH2_PROFILES)
+                             + sorted(PARSEC_PROFILES))
+
+DEFAULT_THREADS = 8
+
+
+def parallel_profile(name: str) -> WorkloadProfile:
+    try:
+        return PARALLEL_PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown parallel benchmark {name!r}; "
+                       f"choose from {PARALLEL_NAMES}") from None
+
+
+def parallel_workload(name: str, num_threads: int = DEFAULT_THREADS,
+                      instructions_per_thread: Optional[int] = None,
+                      seed: int = 1) -> Workload:
+    """An N-thread workload for one SPLASH2/PARSEC benchmark."""
+    return build_workload(parallel_profile(name), num_threads=num_threads,
+                          seed=seed,
+                          instructions_per_thread=instructions_per_thread)

@@ -1,0 +1,85 @@
+"""Workload profiles.
+
+A profile is the statistical fingerprint of one benchmark: instruction mix,
+branch predictability, working-set/miss structure, load-dependence
+structure, and (for multithreaded workloads) sharing and synchronization
+intensity.  The SPEC17/SPLASH2/PARSEC tables in ``spec17.py`` /
+``splash2.py`` / ``parsec.py`` instantiate one profile per benchmark,
+calibrated qualitatively to its published character — this is the
+substitution for running the real suites (see DESIGN.md §2).
+
+The four axes that drive the paper's results map to profile fields:
+
+* **L1 miss rate** (DOM's overhead; LP vs EP gap) — ``warm_frac`` +
+  ``stream_frac`` of memory accesses miss the L1.
+* **Branch resolution stalls** (the Spectre-model floor) —
+  ``branch_frac`` x ``mispredict_rate``.
+* **Load dependences** (EP's Figure 2(g) limitation) —
+  ``dependent_load_frac``.
+* **Sharing/synchronization** (invalidations, write deferrals, CPT
+  pressure) — ``read_shared_frac``, ``write_shared_frac``, ``lock_frac``,
+  ``barriers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one benchmark."""
+
+    name: str
+    # instruction mix (fractions of all uops; the rest are ALU ops)
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    branch_frac: float = 0.15
+    fp_frac: float = 0.30          # fraction of ALU ops that are FP
+    # control flow
+    mispredict_rate: float = 0.04  # per executed branch
+    # memory behaviour (fractions of memory accesses)
+    hot_lines: int = 256           # L1-resident working set
+    warm_lines: int = 4096         # LLC-resident working set (L1 misses)
+    warm_frac: float = 0.05
+    stream_frac: float = 0.00      # fresh lines (DRAM misses)
+    # dataflow structure
+    dependent_load_frac: float = 0.10   # loads addressed by a prior load
+    addr_dep_frac: float = 0.05         # memory ops whose address operand
+    #                                     is an in-flight value (the rest
+    #                                     use ready base/index registers)
+    dep_window: int = 16                # producer window for operand picks
+    # multithreaded-only knobs
+    shared_lines: int = 256
+    read_shared_frac: float = 0.0  # loads that read shared lines
+    write_shared_frac: float = 0.0  # stores that write shared lines
+    lock_frac: float = 0.0         # probability a uop slot opens a critical
+    cs_length: int = 6             # uops inside a critical section
+    barriers: int = 0              # global barriers across the trace
+    default_instructions: int = 20_000
+
+    def validate(self) -> None:
+        mix = self.load_frac + self.store_frac + self.branch_frac
+        if not 0.0 < mix < 1.0:
+            raise ConfigError(f"{self.name}: instruction mix sums to {mix}")
+        for field_name in ("mispredict_rate", "warm_frac", "stream_frac",
+                           "dependent_load_frac", "addr_dep_frac",
+                           "read_shared_frac", "write_shared_frac",
+                           "lock_frac", "fp_frac"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"{self.name}: {field_name}={value} out of [0, 1]")
+        if self.warm_frac + self.stream_frac > 1.0:
+            raise ConfigError(f"{self.name}: miss fractions exceed 1")
+
+    @property
+    def l1_miss_frac(self) -> float:
+        """Approximate fraction of memory accesses missing the L1."""
+        return self.warm_frac + self.stream_frac
+
+    def scaled(self, **overrides) -> "WorkloadProfile":
+        """A copy with some fields replaced (used by sweeps/tests)."""
+        return replace(self, **overrides)

@@ -1,0 +1,114 @@
+"""Address arithmetic and the LazyMinSet order tracker."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addr import (line_addr, line_of, offset_in_line, set_index,
+                               slice_of)
+from repro.common.params import LINE_BYTES
+from repro.core.tracking import LazyMinSet
+
+
+class TestAddr:
+    def test_line_of_strips_offset(self):
+        assert line_of(0) == 0
+        assert line_of(LINE_BYTES - 1) == 0
+        assert line_of(LINE_BYTES) == 1
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_line_roundtrip(self, addr):
+        line = line_of(addr)
+        assert line_addr(line) <= addr < line_addr(line + 1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_offset_bounded(self, addr):
+        assert 0 <= offset_in_line(addr) < LINE_BYTES
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_set_index_in_range(self, line):
+        assert 0 <= set_index(line, 64) < 64
+
+    def test_set_index_uses_low_bits(self):
+        assert set_index(0b101_0110, 16) == 0b0110
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_slice_in_range(self, line):
+        assert 0 <= slice_of(line, 8) < 8
+
+    def test_slice_spreads_consecutive_lines(self):
+        slices = {slice_of(line, 8) for line in range(64)}
+        assert len(slices) == 8   # hash must not alias a strided walk
+
+    def test_slice_is_deterministic(self):
+        assert slice_of(12345, 8) == slice_of(12345, 8)
+
+
+class TestLazyMinSet:
+    def test_empty_min_is_none(self):
+        tracker = LazyMinSet()
+        assert tracker.min() is None
+        assert tracker.none_below(0)
+
+    def test_min_tracks_insertions(self):
+        tracker = LazyMinSet()
+        tracker.add(5)
+        tracker.add(3)
+        tracker.add(9)
+        assert tracker.min() == 3
+
+    def test_discard_reveals_next_min(self):
+        tracker = LazyMinSet()
+        for v in (4, 7, 2):
+            tracker.add(v)
+        tracker.discard(2)
+        assert tracker.min() == 4
+
+    def test_none_below_semantics(self):
+        tracker = LazyMinSet()
+        tracker.add(10)
+        assert tracker.none_below(10)      # own index does not count
+        assert tracker.none_below(5)
+        assert not tracker.none_below(11)
+
+    def test_duplicate_add_is_idempotent(self):
+        tracker = LazyMinSet()
+        tracker.add(3)
+        tracker.add(3)
+        tracker.discard(3)
+        assert tracker.min() is None
+
+    def test_discard_absent_is_noop(self):
+        tracker = LazyMinSet()
+        tracker.add(1)
+        tracker.discard(99)
+        assert tracker.min() == 1
+
+    def test_clear(self):
+        tracker = LazyMinSet()
+        tracker.add(1)
+        tracker.clear()
+        assert tracker.min() is None
+        assert len(tracker) == 0
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=50)),
+                    max_size=200))
+    def test_matches_reference_set_model(self, operations):
+        tracker = LazyMinSet()
+        model = set()
+        for is_add, value in operations:
+            if is_add:
+                tracker.add(value)
+                model.add(value)
+            else:
+                tracker.discard(value)
+                model.discard(value)
+            assert tracker.min() == (min(model) if model else None)
+            assert len(tracker) == len(model)
+
+    def test_readd_after_discard(self):
+        tracker = LazyMinSet()
+        tracker.add(5)
+        tracker.discard(5)
+        tracker.add(5)
+        assert tracker.min() == 5

@@ -1,0 +1,122 @@
+"""Analysis utilities: breakdowns, tables, and the hardware cost model."""
+
+import pytest
+
+from repro.analysis.area import cst_hardware_table, estimate_sram
+from repro.analysis.breakdown import (geomean_stack, stacked_overheads,
+                                      vp_condition_cycles)
+from repro.analysis.tables import (format_breakdown_table,
+                                   format_normalized_cpi_table,
+                                   format_stat_table, geomean_overhead_pct)
+from repro.common.params import DefenseKind, SystemConfig
+from repro.sim.runner import ExperimentCache
+from repro.workloads import spec17_workload
+
+
+class TestStackedOverheads:
+    def test_contributions_stack_to_total(self):
+        cycles = {"unsafe": 1000, "ctrl": 1200, "alias": 1230,
+                  "exception": 1250, "mcv": 2000}
+        stack = stacked_overheads(cycles)
+        assert stack["ctrl"] == pytest.approx(20.0)
+        assert stack["alias"] == pytest.approx(3.0)
+        assert stack["exception"] == pytest.approx(2.0)
+        assert stack["mcv"] == pytest.approx(75.0)
+        assert sum(stack.values()) == pytest.approx(100.0)
+
+    def test_negative_noise_clamped(self):
+        cycles = {"unsafe": 1000, "ctrl": 1200, "alias": 1190,
+                  "exception": 1210, "mcv": 1500}
+        stack = stacked_overheads(cycles)
+        assert stack["alias"] == 0.0
+        assert all(v >= 0 for v in stack.values())
+
+    def test_rejects_zero_unsafe(self):
+        with pytest.raises(ValueError):
+            stacked_overheads({"unsafe": 0, "ctrl": 1, "alias": 1,
+                               "exception": 1, "mcv": 1})
+
+    def test_geomean_stack_of_identical_apps(self):
+        app = {"unsafe": 1000, "ctrl": 1100, "alias": 1150,
+               "exception": 1160, "mcv": 1600}
+        stack = geomean_stack([app, dict(app)])
+        assert stack["ctrl"] == pytest.approx(10.0)
+        assert stack["mcv"] == pytest.approx(44.0)
+
+    def test_geomean_stack_requires_apps(self):
+        with pytest.raises(ValueError):
+            geomean_stack([])
+
+
+class TestVPConditionCycles:
+    def test_levels_and_unsafe_present_and_ordered(self):
+        cache = ExperimentCache()
+        workload = spec17_workload("gcc_r", instructions=600)
+        cycles = vp_condition_cycles(
+            SystemConfig(), DefenseKind.FENCE,
+            run=lambda cfg: cache.run(cfg, workload))
+        for key in ("unsafe", "ctrl", "alias", "exception", "mcv"):
+            assert key in cycles
+        assert cycles["unsafe"] <= cycles["ctrl"] <= cycles["mcv"]
+        # the paper's central observation: MCV dominates the stall time
+        stack = stacked_overheads(cycles)
+        assert stack["mcv"] >= stack["alias"]
+        assert stack["mcv"] >= stack["exception"]
+
+
+class TestTables:
+    def test_cpi_table_contains_apps_and_geomean(self):
+        data = {"a": {"comp": 2.0, "ep": 1.5}, "b": {"comp": 1.5,
+                                                     "ep": 1.25}}
+        text = format_normalized_cpi_table("Fence", ["a", "b"],
+                                           ["comp", "ep"], data)
+        assert "Fence" in text and "Geo.Mean" in text
+        assert "2.000" in text and "1.732" in text   # geomean(2, 1.5)
+
+    def test_breakdown_table_totals(self):
+        stacks = {"Fence SPEC17": {"ctrl": 20.0, "alias": 3.0,
+                                   "exception": 2.0, "mcv": 75.0}}
+        extra = {"Fence SPEC17": {"LP": 66.4, "EP": 51.3}}
+        text = format_breakdown_table("Figure 9", stacks, extra)
+        assert "100.0%" in text
+        assert "66.4%" in text and "51.3%" in text
+
+    def test_stat_table_renders_missing_as_dash(self):
+        text = format_stat_table("T", {"r1": {"a": 1.0}, "r2": {"b": 2.0}})
+        assert "-" in text
+
+    def test_geomean_overhead_pct(self):
+        assert geomean_overhead_pct({"a": 2.0, "b": 2.0}) \
+            == pytest.approx(100.0)
+
+
+class TestAreaModel:
+    def test_table1_storage_bytes_exact(self):
+        table = cst_hardware_table()
+        assert table["l1_cst"]["bytes"] == 444
+        assert table["dir_cst"]["bytes"] == 370
+
+    def test_table1_magnitudes(self):
+        """§9.2.4: 'these numbers are very small' — and close to CACTI's."""
+        table = cst_hardware_table()
+        assert table["l1_cst"]["area_mm2"] == pytest.approx(0.0008, abs=4e-4)
+        assert table["dir_cst"]["area_mm2"] == pytest.approx(0.0005,
+                                                             abs=3e-4)
+        assert table["l1_cst"]["read_energy_pj"] == pytest.approx(0.6,
+                                                                  rel=0.1)
+        assert table["dir_cst"]["read_energy_pj"] == pytest.approx(0.4,
+                                                                   rel=0.1)
+        assert table["l1_cst"]["leakage_mw"] == pytest.approx(0.17, rel=0.2)
+        assert table["dir_cst"]["leakage_mw"] == pytest.approx(0.17,
+                                                               rel=0.2)
+
+    def test_estimate_scales_with_bits(self):
+        small = estimate_sram(1000, 32)
+        large = estimate_sram(10000, 32)
+        assert large.area_mm2 > small.area_mm2
+        assert large.leakage_mw > small.leakage_mw
+        assert large.read_energy_pj > small.read_energy_pj
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            estimate_sram(0, 8)

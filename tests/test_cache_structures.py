@@ -1,0 +1,176 @@
+"""Cache arrays, replacement (with pinned-victim denial), MSHRs, write
+buffer — the structures underpinning §5.1.3 and §5.1.2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.params import CacheParams
+from repro.mem.cache import CacheArray, LineState, MSHRFile
+from repro.mem.replacement import LRUSet
+from repro.mem.writebuffer import WriteBuffer
+
+
+class TestLRUSet:
+    def test_insert_and_lookup(self):
+        s = LRUSet(ways=2)
+        s.insert(1, "a")
+        assert 1 in s and s.get(1) == "a"
+
+    def test_insert_beyond_ways_rejected(self):
+        s = LRUSet(ways=1)
+        s.insert(1, "a")
+        with pytest.raises(ValueError):
+            s.insert(2, "b")
+
+    def test_victim_is_least_recently_used(self):
+        s = LRUSet(ways=3)
+        for line in (1, 2, 3):
+            s.insert(line, None)
+        s.touch(1)
+        assert s.pick_victim() == 2
+
+    def test_pinned_victims_are_skipped(self):
+        s = LRUSet(ways=3)
+        for line in (1, 2, 3):
+            s.insert(line, None)
+        assert s.pick_victim(evictable=lambda l: l != 1) == 2
+
+    def test_all_pinned_returns_none(self):
+        s = LRUSet(ways=2)
+        s.insert(1, None)
+        s.insert(2, None)
+        assert s.pick_victim(evictable=lambda l: False) is None
+
+    def test_skipped_pinned_line_promoted_to_mru(self):
+        # paper §5.1.3: denied evictions refresh the victim's recency
+        s = LRUSet(ways=3)
+        for line in (1, 2, 3):
+            s.insert(line, None)
+        s.pick_victim(evictable=lambda l: l != 1)   # skips pinned 1
+        assert s.pick_victim() == 2   # 1 is now more recent than 2, 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=60))
+    def test_matches_reference_lru_model(self, accesses):
+        ways = 4
+        s = LRUSet(ways=ways)
+        model = []
+        for line in accesses:
+            if line in s:
+                s.touch(line)
+                model.remove(line)
+                model.append(line)
+            else:
+                if s.full:
+                    victim = s.pick_victim()
+                    assert victim == model.pop(0)
+                    s.remove(victim)
+                s.insert(line, None)
+                model.append(line)
+        assert list(s.lines()) == model
+
+
+class TestCacheArray:
+    def _small(self):
+        # 4 sets x 2 ways
+        return CacheArray(CacheParams(size_bytes=4 * 2 * 64, ways=2,
+                                      latency=1))
+
+    def test_miss_then_fill_then_hit(self):
+        cache = self._small()
+        assert cache.lookup(5) is None
+        cache.fill(5, LineState.SHARED)
+        assert cache.lookup(5) is LineState.SHARED
+
+    def test_set_state_requires_residency(self):
+        cache = self._small()
+        with pytest.raises(KeyError):
+            cache.set_state(5, LineState.MODIFIED)
+
+    def test_invalidate(self):
+        cache = self._small()
+        cache.fill(5, LineState.EXCLUSIVE)
+        assert cache.invalidate(5)
+        assert not cache.invalidate(5)
+        assert cache.lookup(5) is None
+
+    def test_needs_victim_when_set_full(self):
+        cache = self._small()
+        cache.fill(0, LineState.SHARED)    # set 0
+        cache.fill(4, LineState.SHARED)    # set 0 (4 % 4 == 0)
+        assert cache.needs_victim(8)       # set 0
+        assert not cache.needs_victim(1)   # set 1 empty
+
+    def test_victim_respects_pin_filter(self):
+        cache = self._small()
+        cache.fill(0, LineState.SHARED)
+        cache.fill(4, LineState.SHARED)
+        assert cache.pick_victim(8, evictable=lambda l: l != 0) == 4
+
+    def test_lines_map_to_expected_sets(self):
+        cache = self._small()
+        assert cache.set_of(0) == cache.set_of(4) == 0
+        assert cache.set_of(3) == 3
+
+    def test_occupancy(self):
+        cache = self._small()
+        cache.fill(0, LineState.SHARED)
+        cache.fill(1, LineState.SHARED)
+        assert cache.occupancy() == 2
+
+    def test_writable_states(self):
+        assert LineState.MODIFIED.writable
+        assert LineState.EXCLUSIVE.writable
+        assert not LineState.SHARED.writable
+
+
+class TestMSHRFile:
+    def test_allocate_and_merge(self):
+        mshrs = MSHRFile()
+        entry = mshrs.allocate(7, cycle=10)
+        entry.callbacks.append(lambda c: None)
+        assert mshrs.outstanding(7) is entry
+        assert len(mshrs) == 1
+
+    def test_double_allocate_rejected(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(7, cycle=10)
+        with pytest.raises(ValueError):
+            mshrs.allocate(7, cycle=11)
+
+    def test_retire_removes(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(7, cycle=10)
+        mshrs.retire(7)
+        assert mshrs.outstanding(7) is None
+
+
+class TestWriteBuffer:
+    def test_fifo_order(self):
+        wb = WriteBuffer(capacity=4)
+        wb.push(1)
+        wb.push(2)
+        assert wb.head().line == 1
+        wb.pop()
+        assert wb.head().line == 2
+
+    def test_capacity_enforced(self):
+        wb = WriteBuffer(capacity=1)
+        wb.push(1)
+        assert wb.full
+        with pytest.raises(OverflowError):
+            wb.push(2)
+
+    def test_free_tracks_occupancy(self):
+        wb = WriteBuffer(capacity=3)
+        assert wb.free == 3
+        wb.push(1)
+        assert wb.free == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(capacity=0)
+
+    def test_empty_head_is_none(self):
+        assert WriteBuffer(capacity=2).head() is None

@@ -1,0 +1,50 @@
+"""Calibration: profiles must deliver the characteristics they promise."""
+
+import pytest
+
+from repro.workloads import spec17_profile, parallel_profile
+from repro.workloads.calibrate import calibrate
+
+
+class TestCalibration:
+    def test_mix_tracks_targets(self):
+        report = calibrate(spec17_profile("gcc_r"), instructions=4000)
+        assert report.mix_error() < 0.03
+
+    def test_low_miss_profile_achieves_low_miss_rate(self):
+        report = calibrate(spec17_profile("exchange2_r"),
+                           instructions=4000)
+        assert report.l1_load_miss_rate < 0.05
+
+    def test_high_miss_profile_achieves_high_miss_rate(self):
+        low = calibrate(spec17_profile("exchange2_r"), instructions=4000)
+        high = calibrate(spec17_profile("bwaves_r"), instructions=4000)
+        assert high.l1_load_miss_rate > low.l1_load_miss_rate + 0.05
+
+    def test_mispredict_rate_achieved(self):
+        report = calibrate(spec17_profile("leela_r"), instructions=4000)
+        assert report.mispredict_per_branch \
+            == pytest.approx(report.profile.mispredict_rate, abs=0.03)
+
+    def test_pointer_chaser_dependence(self):
+        report = calibrate(spec17_profile("mcf_r"), instructions=4000)
+        assert report.load_dependence_frac > 0.25
+
+    def test_multithreaded_calibration(self):
+        report = calibrate(parallel_profile("fft"), instructions=800,
+                           num_threads=4)
+        assert report.unsafe_cpi > 0
+        assert 0 <= report.l1_load_miss_rate <= 1
+
+    def test_summary_mentions_name_and_targets(self):
+        report = calibrate(spec17_profile("namd_r"), instructions=1000)
+        text = report.summary()
+        assert "namd_r" in text and "target" in text
+
+    def test_every_spec17_profile_is_roughly_calibrated(self):
+        """Bulk sanity: no profile drifts wildly from its intent."""
+        from repro.workloads import SPEC17_NAMES
+        for name in SPEC17_NAMES[::4]:   # sample every 4th for speed
+            report = calibrate(spec17_profile(name), instructions=2500)
+            assert report.mix_error() < 0.04, name
+            assert report.miss_rate_error() > -0.05, name

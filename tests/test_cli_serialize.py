@@ -1,0 +1,116 @@
+"""The CLI and workload serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.isa.serialize import (load_workload, save_workload,
+                                 uop_from_dict, uop_to_dict,
+                                 workload_from_dict, workload_to_dict)
+from repro.isa.uops import MicroOp, OpClass
+from repro.sim.runner import run_simulation
+from repro.common.params import SystemConfig
+from repro.workloads import parallel_workload, spec17_workload
+
+
+class TestCLI:
+    def test_run_command(self, capsys):
+        assert main(["run", "leela_r", "--instructions", "500",
+                     "--defense", "fence", "--pinning", "ep"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized CPI" in out
+        assert "fence / comp / ep" in out
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not_a_benchmark"])
+
+    def test_run_rejects_bad_defense(self):
+        with pytest.raises(SystemExit):
+            main(["run", "leela_r", "--defense", "bogus"])
+
+    def test_grid_command(self, capsys):
+        assert main(["grid", "namd_r", "--instructions", "400"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("fence", "dom", "stt"):
+            assert scheme in out
+        assert "spectre" in out
+
+    def test_breakdown_command(self, capsys):
+        assert main(["breakdown", "namd_r", "--instructions", "400"]) == 0
+        out = capsys.readouterr().out
+        for condition in ("ctrl", "alias", "exception", "mcv", "total"):
+            assert condition in out
+
+    def test_parallel_workload_via_cli(self, capsys):
+        assert main(["run", "fft", "--instructions", "200",
+                     "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 thread(s)" in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf_r" in out and "raytrace" in out
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "l1_cst" in out and "dir_cst" in out
+
+
+class TestUopRoundtrip:
+    @pytest.mark.parametrize("uop", [
+        MicroOp(0, OpClass.INT_ALU),
+        MicroOp(3, OpClass.LOAD, deps=(1, 2), addr=0x1C0),
+        MicroOp(5, OpClass.STORE, deps=(1,), data_deps=(4,), addr=0x200),
+        MicroOp(2, OpClass.BRANCH, deps=(0,), mispredicted=True),
+        MicroOp(7, OpClass.BARRIER, barrier_id=3),
+        MicroOp(1, OpClass.ATOMIC, addr=0x5000),
+        MicroOp(0, OpClass.FENCE),
+    ])
+    def test_roundtrip_preserves_fields(self, uop):
+        restored = uop_from_dict(uop.index, uop_to_dict(uop))
+        assert restored.opclass is uop.opclass
+        assert restored.deps == uop.deps
+        assert restored.data_deps == uop.data_deps
+        assert restored.addr == uop.addr
+        assert restored.mispredicted == uop.mispredicted
+        assert restored.barrier_id == uop.barrier_id
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip_through_file(self, tmp_path):
+        workload = parallel_workload("fft", num_threads=2,
+                                     instructions_per_thread=300)
+        path = tmp_path / "fft.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        assert restored.name == workload.name
+        assert restored.num_threads == 2
+        assert restored.total_instructions == workload.total_instructions
+
+    def test_restored_workload_simulates_identically(self, tmp_path):
+        workload = spec17_workload("gcc_r", instructions=500)
+        path = tmp_path / "gcc.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        original = run_simulation(SystemConfig(), workload)
+        replayed = run_simulation(SystemConfig(), restored)
+        assert original.cycles == replayed.cycles
+
+    def test_version_check(self):
+        workload = spec17_workload("gcc_r", instructions=10)
+        data = workload_to_dict(workload)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+    def test_json_is_compact_schema(self):
+        workload = spec17_workload("gcc_r", instructions=50)
+        data = workload_to_dict(workload)
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        assert parsed["threads"][0]["uops"][0]["op"] in {
+            cls.value for cls in OpClass}

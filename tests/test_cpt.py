@@ -1,0 +1,76 @@
+"""Cannot-Pin Table behaviour (§5.1.5, §6.3)."""
+
+import pytest
+
+from repro.pinning.cpt import CannotPinTable
+
+
+class TestCannotPinTable:
+    def test_insert_and_membership(self):
+        cpt = CannotPinTable(capacity=4)
+        assert cpt.insert(10)
+        assert 10 in cpt
+        assert 11 not in cpt
+
+    def test_remove_on_clear_message(self):
+        cpt = CannotPinTable(capacity=4)
+        cpt.insert(10)
+        cpt.remove(10)
+        assert 10 not in cpt
+
+    def test_duplicate_insert_is_idempotent(self):
+        cpt = CannotPinTable(capacity=1)
+        assert cpt.insert(10)
+        assert cpt.insert(10)     # same line: no overflow
+        assert len(cpt) == 1
+        assert not cpt.pinning_blocked
+
+    def test_overflow_refuses_and_blocks_pinning(self):
+        cpt = CannotPinTable(capacity=2)
+        cpt.insert(1)
+        cpt.insert(2)
+        assert not cpt.insert(3)
+        assert cpt.pinning_blocked
+        assert cpt.stats["overflows"] == 1
+
+    def test_blocked_until_half_empty(self):
+        """§6.3: after overflow the core stops pinning until the CPT is
+        half empty."""
+        cpt = CannotPinTable(capacity=4)
+        for line in range(4):
+            cpt.insert(line)
+        assert not cpt.insert(99)
+        assert cpt.pinning_blocked
+        cpt.remove(0)
+        assert cpt.pinning_blocked      # 3 > 4 // 2
+        cpt.remove(1)
+        assert not cpt.pinning_blocked  # 2 == 4 // 2
+
+    def test_ideal_cpt_never_overflows(self):
+        cpt = CannotPinTable(capacity=1, ideal=True)
+        for line in range(100):
+            assert cpt.insert(line)
+        assert not cpt.pinning_blocked
+        assert cpt.max_occupancy == 100
+
+    def test_occupancy_statistics(self):
+        cpt = CannotPinTable(capacity=4)
+        cpt.insert(1)
+        cpt.insert(2)
+        assert cpt.max_occupancy == 2
+        assert 0 < cpt.mean_occupancy <= 2
+
+    def test_overflow_rate(self):
+        cpt = CannotPinTable(capacity=1)
+        cpt.insert(1)
+        cpt.insert(2)   # overflow
+        assert cpt.overflow_rate == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CannotPinTable(capacity=0)
+
+    def test_remove_absent_is_noop(self):
+        cpt = CannotPinTable(capacity=2)
+        cpt.remove(5)
+        assert len(cpt) == 0

@@ -1,0 +1,154 @@
+"""Event kernel and statistics containers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet, geomean, normalized, overhead_pct
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda: fired.append(5))
+        q.schedule(2, lambda: fired.append(2))
+        q.schedule(9, lambda: fired.append(9))
+        q.run_until(10)
+        assert fired == [2, 5, 9]
+
+    def test_ties_fire_in_fifo_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abc":
+            q.schedule(3, lambda t=tag: fired.append(t))
+        q.run_until(3)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_only_fires_due_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(4, lambda: fired.append(4))
+        q.schedule(8, lambda: fired.append(8))
+        q.run_until(5)
+        assert fired == [4]
+        assert len(q) == 1
+
+    def test_now_advances_to_run_until_target(self):
+        q = EventQueue()
+        q.run_until(42)
+        assert q.now == 42
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.run_until(10)
+        with pytest.raises(ValueError):
+            q.schedule(5, lambda: None)
+
+    def test_schedule_after_is_relative_to_now(self):
+        q = EventQueue()
+        q.run_until(10)
+        fired = []
+        q.schedule_after(3, lambda: fired.append(q.now))
+        q.run_until(13)
+        assert fired == [13]
+
+    def test_callback_may_schedule_followup(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule_after(2, lambda: fired.append("second"))
+
+        q.schedule(1, first)
+        q.run_until(5)
+        assert fired == ["first", "second"]
+
+    def test_next_time_peeks_earliest(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        q.schedule(7, lambda: None)
+        q.schedule(3, lambda: None)
+        assert q.next_time() == 3
+
+
+class TestStatSet:
+    def test_counters_default_to_zero(self):
+        stats = StatSet()
+        assert stats["anything"] == 0
+
+    def test_bump_accumulates(self):
+        stats = StatSet()
+        stats.bump("x")
+        stats.bump("x", 2)
+        assert stats["x"] == 3
+
+    def test_set_overrides(self):
+        stats = StatSet()
+        stats.bump("x", 5)
+        stats.set("x", 1)
+        assert stats["x"] == 1
+
+    def test_merge_sums_counters(self):
+        a, b = StatSet(), StatSet()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_contains_reflects_touched_keys(self):
+        stats = StatSet()
+        assert "x" not in stats
+        stats.bump("x", 0)
+        assert "x" in stats
+
+
+class TestAggregates:
+    def test_geomean_of_equal_values(self):
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=20))
+    def test_geomean_bounded_by_min_and_max(self, values):
+        mean = geomean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=10),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_geomean_scales_multiplicatively(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+    def test_overhead_pct(self):
+        assert overhead_pct(2.126) == pytest.approx(112.6)
+
+    def test_normalized(self):
+        norm = normalized({"unsafe": 100, "fence": 212}, "unsafe")
+        assert norm["fence"] == pytest.approx(2.12)
+        assert norm["unsafe"] == 1.0
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalized({"unsafe": 0, "x": 5}, "unsafe")
+
+    def test_geomean_matches_log_definition(self):
+        values = [1.5, 2.5, 3.5]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)

@@ -1,0 +1,79 @@
+"""Mesh network geometry and SimResult accessors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.params import NetworkParams, SystemConfig
+from repro.mem.network import MeshNetwork
+from repro.sim.runner import run_simulation
+from repro.workloads import spec17_workload
+
+
+class TestMeshGeometry:
+    def setup_method(self):
+        self.net = MeshNetwork(NetworkParams(mesh_cols=4, mesh_rows=2,
+                                             hop_latency=1))
+
+    def test_self_distance_zero(self):
+        for node in range(8):
+            assert self.net.hops(node, node) == 0
+
+    def test_neighbours_one_hop(self):
+        assert self.net.hops(0, 1) == 1
+        assert self.net.hops(0, 4) == 1    # vertically adjacent (row 2)
+
+    def test_manhattan_corner_to_corner(self):
+        assert self.net.hops(0, 7) == 4    # (0,0) -> (3,1)
+
+    @given(st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=7))
+    def test_symmetry(self, a, b):
+        assert self.net.hops(a, b) == self.net.hops(b, a)
+
+    @given(st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=7))
+    def test_triangle_inequality(self, a, b, c):
+        assert self.net.hops(a, c) <= self.net.hops(a, b) \
+            + self.net.hops(b, c)
+
+    def test_hop_latency_scales(self):
+        fast = MeshNetwork(NetworkParams(hop_latency=1))
+        slow = MeshNetwork(NetworkParams(hop_latency=3))
+        assert slow.latency(0, 7) == 3 * fast.latency(0, 7)
+
+    def test_send_accounts_messages_and_cycles(self):
+        lat = self.net.send(0, 7, "getS")
+        assert lat == 4
+        assert self.net.message_count() == 1
+        assert self.net.message_count("getS") == 1
+        assert self.net.stats["hop_cycles"] == 4
+
+
+class TestSimResultAccessors:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workload = spec17_workload("povray_r", instructions=600)
+        return run_simulation(SystemConfig(), workload)
+
+    def test_cpi_positive(self, result):
+        assert result.cpi > 0
+
+    def test_total_sums_cores(self, result):
+        assert result.total("retired") == 600
+
+    def test_total_of_missing_stat_is_zero(self, result):
+        assert result.total("not_a_stat") == 0
+
+    def test_squash_summary_keys(self, result):
+        summary = result.squash_summary()
+        assert set(summary) == {"branch", "alias", "mcv_inval",
+                                "mcv_evict"}
+
+    def test_normalized_cpi_identity(self, result):
+        assert result.normalized_cpi(result) == pytest.approx(1.0)
+
+    def test_describe_is_one_line(self, result):
+        assert "\n" not in result.describe()
+        assert "povray_r" in result.describe()

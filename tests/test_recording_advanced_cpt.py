@@ -1,0 +1,137 @@
+"""The §6.1.2 L1-tag pin-recording design and the §6.3 advanced CPT."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (DefenseKind, PinnedLoadsParams, PinningMode,
+                                 SystemConfig)
+from repro.pinning.cpt import CannotPinTable
+from repro.pinning.recording import L1TagPinRecord
+from repro.sim.runner import run_simulation
+from repro.workloads import parallel_workload, spec17_workload
+
+
+class TestL1TagPinRecord:
+    def test_first_pin_sets_l1_bit(self):
+        record = L1TagPinRecord()
+        record.on_pin(10, lq_id=1, line_in_l1=True)
+        assert record.is_pinned(10)
+        assert record.stats["l1_bits_set"] == 1
+        assert record.stats["l1_bit_accesses"] == 1
+
+    def test_pin_before_fill_uses_mshr_bit(self):
+        """§6.1.2: Early Pinning may pin before the L1 has the line; the
+        Pinned bit parks in the MSHR and is copied on fill."""
+        record = L1TagPinRecord()
+        record.on_pin(10, lq_id=1, line_in_l1=False)
+        assert record.stats["mshr_bits_set"] == 1
+        assert record.stats["l1_bit_accesses"] == 0
+        record.on_fill(10)
+        assert record.stats["mshr_bits_copied"] == 1
+        assert record.stats["l1_bit_accesses"] == 1
+
+    def test_ypl_passes_to_youngest_without_l1_access(self):
+        record = L1TagPinRecord()
+        record.on_pin(10, lq_id=1, line_in_l1=True)
+        record.on_pin(10, lq_id=2, line_in_l1=True)
+        assert record.ypl_holder(10) == 2
+        assert record.stats["ypl_passes"] == 1
+        assert record.stats["l1_bit_accesses"] == 1   # only the first pin
+
+    def test_only_last_unpin_clears_the_bit(self):
+        record = L1TagPinRecord()
+        record.on_pin(10, lq_id=1, line_in_l1=True)
+        record.on_pin(10, lq_id=2, line_in_l1=True)
+        assert not record.on_unpin(10, lq_id=1)   # older load, not YPL
+        assert record.is_pinned(10)
+        assert record.on_unpin(10, lq_id=2)       # YPL holder clears
+        assert not record.is_pinned(10)
+        assert record.stats["l1_bits_cleared"] == 1
+
+    def test_unpin_unknown_line_is_noop(self):
+        record = L1TagPinRecord()
+        assert not record.on_unpin(99, lq_id=1)
+
+    def test_end_to_end_l1tag_mode_matches_lq_mode_semantics(self):
+        """Both recording designs must produce identical timing: the
+        record's location changes hardware cost, not behaviour."""
+        workload = spec17_workload("bwaves_r", instructions=1200)
+        results = {}
+        for mode in ("lq", "l1tag"):
+            config = SystemConfig(
+                defense=DefenseKind.FENCE,
+                pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                          pin_record=mode))
+            results[mode] = run_simulation(config, workload)
+        assert results["lq"].cycles == results["l1tag"].cycles
+        assert results["lq"].squash_summary() \
+            == results["l1tag"].squash_summary()
+
+    def test_l1tag_mode_counts_bit_traffic(self):
+        workload = spec17_workload("bwaves_r", instructions=1200)
+        config = SystemConfig(
+            defense=DefenseKind.FENCE,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                      pin_record="l1tag"))
+        system_result = run_simulation(config, workload)
+        # the controller's record must have been exercised: accesses are
+        # visible on the controller object via a fresh run
+        from repro.sim.system import System
+        system = System(config, workload)
+        system.mem.warm(workload)
+        system.run()
+        record = system.cores[0].controller.l1_tag_record
+        assert record is not None
+        assert record.stats["l1_bit_accesses"] > 0
+        assert record.pinned_line_count == 0      # all unpinned at the end
+
+    def test_invalid_pin_record_rejected(self):
+        with pytest.raises(ConfigError):
+            PinnedLoadsParams(pin_record="bogus").validate()
+
+
+class TestAdvancedCPT:
+    def test_refused_writer_gets_reserved_slot(self):
+        cpt = CannotPinTable(capacity=2, reservation_queue=True)
+        cpt.insert(1, writer=5)
+        cpt.insert(2, writer=6)
+        assert not cpt.insert(3, writer=7)     # full: writer 7 queued
+        assert cpt.stats["writers_queued"] == 1
+        cpt.remove(1)                          # frees a slot -> reserved
+        assert cpt.insert(3, writer=7)         # entitled writer succeeds
+        assert cpt.stats["reservations_used"] == 1
+
+    def test_reservation_is_fifo(self):
+        cpt = CannotPinTable(capacity=1, reservation_queue=True)
+        cpt.insert(1, writer=5)
+        assert not cpt.insert(2, writer=6)
+        assert not cpt.insert(3, writer=7)
+        cpt.remove(1)                          # slot reserved for writer 6
+        assert not cpt.insert(3, writer=7)     # writer 7 still waits
+        assert cpt.insert(2, writer=6)
+
+    def test_without_queue_refusals_are_unconditional(self):
+        cpt = CannotPinTable(capacity=1, reservation_queue=False)
+        cpt.insert(1, writer=5)
+        assert not cpt.insert(2, writer=6)
+        cpt.remove(1)
+        assert cpt.insert(2, writer=6)         # plain capacity, no debt
+
+    def test_duplicate_queued_writer_not_requeued(self):
+        cpt = CannotPinTable(capacity=1, reservation_queue=True)
+        cpt.insert(1, writer=5)
+        cpt.insert(2, writer=6)
+        cpt.insert(3, writer=6)
+        assert cpt.stats["writers_queued"] == 1
+
+    def test_end_to_end_with_reservation_queue(self):
+        workload = parallel_workload("radiosity", num_threads=4,
+                                     instructions_per_thread=500)
+        config = SystemConfig(
+            num_cores=4, defense=DefenseKind.DOM,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                      cpt_reservation_queue=True))
+        result = run_simulation(config, workload)
+        for core_id in range(4):
+            assert result.core_stats[core_id]["retired"] == \
+                len(workload.traces[core_id])

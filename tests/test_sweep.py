@@ -1,0 +1,65 @@
+"""The Sweep helper: grids, geomeans, pinning-parameter sweeps."""
+
+import pytest
+
+from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
+                                 ThreatModel)
+from repro.sim.runner import scheme_grid
+from repro.sim.sweep import Sweep
+from repro.workloads import spec17_workload
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    workloads = {name: spec17_workload(name, instructions=400)
+                 for name in ("leela_r", "namd_r")}
+    return Sweep(SystemConfig(), workloads)
+
+
+class TestSweep:
+    def test_requires_workloads(self):
+        with pytest.raises(ValueError):
+            Sweep(SystemConfig(), {})
+
+    def test_unsafe_is_baseline_one(self, sweep):
+        config = SystemConfig().with_defense(DefenseKind.UNSAFE)
+        assert sweep.normalized(config, "leela_r") == pytest.approx(1.0)
+
+    def test_grid_covers_all_cells(self, sweep):
+        table = sweep.grid(scheme_grid())
+        assert set(table) == {"leela_r", "namd_r"}
+        assert len(table["leela_r"]) == 12
+        assert all(v >= 0.9 for v in table["leela_r"].values())
+
+    def test_geomeans_between_min_and_max(self, sweep):
+        cells = {"fence-comp": (DefenseKind.FENCE, ThreatModel.MCV,
+                                PinningMode.NONE)}
+        table = sweep.grid(cells)
+        means = sweep.geomeans(cells)
+        values = [table[name]["fence-comp"] for name in table]
+        assert min(values) <= means["fence-comp"] <= max(values)
+
+    def test_pinning_sweep_varies_hardware(self, sweep):
+        results = sweep.pinning_sweep(
+            DefenseKind.FENCE, PinningMode.EARLY,
+            {"default": {}, "tiny_cst": {"l1_cst_entries": 1,
+                                         "l1_cst_records": 1,
+                                         "dir_cst_entries": 1,
+                                         "dir_cst_records": 1}})
+        assert set(results) == {"default", "tiny_cst"}
+        # a crippled CST cannot be faster than the default
+        for name in ("leela_r", "namd_r"):
+            assert results["tiny_cst"][name] \
+                >= results["default"][name] * 0.99
+
+    def test_apply_shares_cache(self, sweep):
+        derived = sweep.apply(lambda cfg: cfg.with_defense(
+            DefenseKind.FENCE))
+        assert derived.cache is sweep.cache
+        assert derived.base_config.defense is DefenseKind.FENCE
+
+    def test_runs_are_memoized(self, sweep):
+        config = SystemConfig().with_defense(DefenseKind.DOM)
+        first = sweep.run_one(config, "leela_r")
+        second = sweep.run_one(config, "leela_r")
+        assert first is second

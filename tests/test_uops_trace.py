@@ -1,0 +1,89 @@
+"""Micro-op and trace container invariants."""
+
+import pytest
+
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+
+
+def _alu(index, deps=()):
+    return MicroOp(index, OpClass.INT_ALU, deps=deps)
+
+
+class TestMicroOp:
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(0, OpClass.LOAD)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(0, OpClass.STORE)
+
+    def test_deps_must_be_older(self):
+        with pytest.raises(ValueError):
+            MicroOp(3, OpClass.INT_ALU, deps=(3,))
+        with pytest.raises(ValueError):
+            MicroOp(3, OpClass.INT_ALU, deps=(7,))
+
+    def test_classification_properties(self):
+        load = MicroOp(1, OpClass.LOAD, addr=0x40)
+        assert load.is_load and load.is_memory
+        assert not load.is_store and not load.is_branch
+        store = MicroOp(1, OpClass.STORE, addr=0x40)
+        assert store.is_store and store.is_memory
+        branch = MicroOp(1, OpClass.BRANCH)
+        assert branch.is_branch and not branch.is_memory
+
+    def test_serializing_classes(self):
+        assert MicroOp(0, OpClass.FENCE).is_serializing
+        assert MicroOp(0, OpClass.ATOMIC, addr=0).is_serializing
+        assert MicroOp(0, OpClass.BARRIER, barrier_id=0).is_serializing
+        assert not MicroOp(0, OpClass.LOAD, addr=0).is_serializing
+
+    def test_atomic_is_memory(self):
+        assert MicroOp(0, OpClass.ATOMIC, addr=0x80).is_memory
+
+    def test_repr_mentions_class_and_index(self):
+        text = repr(MicroOp(7, OpClass.LOAD, addr=0x1C0))
+        assert "#7" in text and "ld" in text
+
+
+class TestTrace:
+    def test_indices_must_be_sequential(self):
+        with pytest.raises(ValueError):
+            Trace([_alu(0), _alu(2)])
+
+    def test_len_and_getitem(self):
+        trace = Trace([_alu(0), _alu(1, deps=(0,))])
+        assert len(trace) == 2
+        assert trace[1].deps == (0,)
+
+    def test_count_by_class(self):
+        trace = Trace([_alu(0), MicroOp(1, OpClass.LOAD, addr=0x40),
+                       MicroOp(2, OpClass.LOAD, addr=0x80)])
+        assert trace.count(OpClass.LOAD) == 2
+        assert trace.count(OpClass.BRANCH) == 0
+
+    def test_mix_sums_to_one(self):
+        trace = Trace([_alu(0), MicroOp(1, OpClass.LOAD, addr=0x40)])
+        assert sum(trace.mix().values()) == pytest.approx(1.0)
+
+    def test_footprint_counts_distinct_lines(self):
+        trace = Trace([MicroOp(0, OpClass.LOAD, addr=0x00),
+                       MicroOp(1, OpClass.LOAD, addr=0x3F),   # same line
+                       MicroOp(2, OpClass.STORE, addr=0x40)])
+        assert trace.footprint_lines() == 2
+
+
+class TestWorkload:
+    def test_requires_at_least_one_trace(self):
+        with pytest.raises(ValueError):
+            Workload([])
+
+    def test_aggregates(self):
+        t1 = Trace([_alu(0)])
+        t2 = Trace([_alu(0), _alu(1)])
+        workload = Workload([t1, t2], name="w")
+        assert workload.num_threads == 2
+        assert workload.total_instructions == 3
+        assert "w" in repr(workload)

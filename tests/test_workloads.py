@@ -1,0 +1,167 @@
+"""Workload profiles and the synthetic trace generator."""
+
+import pytest
+
+from repro.isa.uops import OpClass
+from repro.common.errors import ConfigError
+from repro.workloads import (PARALLEL_NAMES, PARALLEL_PROFILES,
+                             PARSEC_NAMES, SPEC17_NAMES, SPEC17_PROFILES,
+                             SPLASH2_NAMES, WorkloadProfile, build_trace,
+                             build_workload, parallel_profile,
+                             parallel_workload, spec17_profile,
+                             spec17_workload)
+
+
+class TestProfileTables:
+    def test_spec17_has_21_benchmarks(self):
+        """The paper runs 21 of 23 (omnetpp/imagick excluded)."""
+        assert len(SPEC17_NAMES) == 21
+        assert "omnetpp_r" not in SPEC17_NAMES
+        assert "imagick_r" not in SPEC17_NAMES
+
+    def test_parallel_suite_matches_artifact(self):
+        """13 SPLASH2 + 10 PARSEC = 23 parallel applications."""
+        assert len(SPLASH2_NAMES) == 13
+        assert len(PARSEC_NAMES) == 10
+        assert len(PARALLEL_NAMES) == 23
+
+    def test_all_profiles_validate(self):
+        for profile in list(SPEC17_PROFILES.values()) \
+                + list(PARALLEL_PROFILES.values()):
+            profile.validate()
+
+    def test_memory_bound_apps_have_high_miss_fractions(self):
+        for name in ("bwaves_r", "fotonik3d_r", "lbm_r", "mcf_r"):
+            assert spec17_profile(name).l1_miss_frac > 0.08
+
+    def test_branchy_apps_mispredict_more(self):
+        for name in ("leela_r", "exchange2_r", "deepsjeng_r"):
+            assert spec17_profile(name).mispredict_rate > 0.05
+        assert spec17_profile("bwaves_r").mispredict_rate < 0.01
+
+    def test_pointer_chasers_have_dependent_loads(self):
+        assert spec17_profile("mcf_r").dependent_load_frac > 0.3
+        assert parallel_profile("x264").dependent_load_frac > 0.4
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            spec17_profile("nonexistent")
+        with pytest.raises(KeyError):
+            parallel_profile("nonexistent")
+
+    def test_profile_validation_rejects_bad_mix(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="bad", load_frac=0.6, store_frac=0.5,
+                            branch_frac=0.2).validate()
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="bad", mispredict_rate=1.5).validate()
+        with pytest.raises(ConfigError):
+            WorkloadProfile(name="bad", warm_frac=0.7,
+                            stream_frac=0.7).validate()
+
+    def test_scaled_returns_modified_copy(self):
+        base = spec17_profile("leela_r")
+        scaled = base.scaled(warm_frac=0.5)
+        assert scaled.warm_frac == 0.5
+        assert base.warm_frac != 0.5
+        assert scaled.name == base.name
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = build_trace(spec17_profile("gcc_r"), seed=3, instructions=500)
+        b = build_trace(spec17_profile("gcc_r"), seed=3, instructions=500)
+        assert len(a) == len(b)
+        assert all(x.opclass is y.opclass and x.addr == y.addr
+                   and x.deps == y.deps for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = build_trace(spec17_profile("gcc_r"), seed=3, instructions=500)
+        b = build_trace(spec17_profile("gcc_r"), seed=4, instructions=500)
+        assert any(x.opclass is not y.opclass or x.addr != y.addr
+                   for x, y in zip(a, b))
+
+    def test_mix_tracks_profile(self):
+        profile = spec17_profile("gcc_r")
+        trace = build_trace(profile, instructions=5000)
+        mix = trace.mix()
+        assert mix["ld"] == pytest.approx(profile.load_frac, abs=0.03)
+        assert mix["st"] == pytest.approx(profile.store_frac, abs=0.03)
+        assert mix["br"] == pytest.approx(profile.branch_frac, abs=0.03)
+
+    def test_mispredict_rate_tracks_profile(self):
+        profile = spec17_profile("leela_r")
+        trace = build_trace(profile, instructions=5000)
+        branches = [u for u in trace if u.is_branch]
+        rate = sum(u.mispredicted for u in branches) / len(branches)
+        assert rate == pytest.approx(profile.mispredict_rate, abs=0.03)
+
+    def test_dependent_loads_present(self):
+        trace = build_trace(spec17_profile("mcf_r"), instructions=3000)
+        loads = [u for u in trace if u.is_load]
+        load_indices = {u.index for u in loads}
+        dependent = [u for u in loads
+                     if any(d in load_indices for d in u.deps)]
+        assert len(dependent) / len(loads) > 0.2
+
+    def test_streaming_profile_touches_fresh_lines(self):
+        streaming = spec17_profile("lbm_r")
+        trace = build_trace(streaming, instructions=3000)
+        # stream lines are touched once: footprint much larger than pools
+        assert trace.footprint_lines() > streaming.hot_lines
+
+    def test_single_thread_has_no_shared_accesses(self):
+        trace = build_trace(parallel_profile("fft"), thread_id=0,
+                            num_threads=1, instructions=2000)
+        assert all(u.addr < 0x4000_0000 or u.addr >= 0x5000_0000 + 0x1000
+                   or u.addr < 0x5000_0000
+                   for u in trace if u.addr is not None)
+
+
+class TestParallelWorkloads:
+    def test_thread_count(self):
+        workload = parallel_workload("fft", num_threads=4,
+                                     instructions_per_thread=300)
+        assert workload.num_threads == 4
+
+    def test_threads_share_lines(self):
+        workload = parallel_workload("radiosity", num_threads=4,
+                                     instructions_per_thread=2000)
+        footprints = []
+        for trace in workload.traces:
+            footprints.append({u.addr >> 6 for u in trace
+                               if u.addr is not None})
+        shared = footprints[0] & footprints[1]
+        assert shared, "threads must touch common lines"
+
+    def test_barriers_equal_across_threads(self):
+        workload = parallel_workload("ocean_cp", num_threads=8,
+                                     instructions_per_thread=1000)
+        counts = [trace.count(OpClass.BARRIER) for trace in workload.traces]
+        assert len(set(counts)) == 1
+        assert counts[0] == parallel_profile("ocean_cp").barriers
+
+    def test_lock_sections_emit_atomic_release_pairs(self):
+        workload = parallel_workload("fluidanimate", num_threads=2,
+                                     instructions_per_thread=4000)
+        trace = workload.traces[0]
+        atomics = [u for u in trace if u.opclass is OpClass.ATOMIC]
+        assert atomics, "lock-heavy profile must contain atomics"
+        for atomic in atomics:
+            releases = [u for u in trace
+                        if u.is_store and u.addr == atomic.addr
+                        and u.index > atomic.index]
+            assert releases, "every acquire needs a release store"
+
+    def test_spec17_workload_is_single_threaded(self):
+        assert spec17_workload("namd_r", instructions=100).num_threads == 1
+
+    def test_thread_private_pools_disjoint(self):
+        workload = build_workload(parallel_profile("fft"), num_threads=2,
+                                  instructions_per_thread=1000)
+        privates = []
+        for trace in workload.traces:
+            privates.append({u.addr for u in trace
+                             if u.addr is not None
+                             and u.addr < 0x4000_0000})
+        assert not (privates[0] & privates[1])
