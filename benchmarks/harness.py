@@ -70,6 +70,11 @@ def suite_apps(suite: str) -> List[str]:
 
 
 def run(config: SystemConfig, app: str, suite: str) -> SimResult:
+    # Figure/table numbers must come from uninstrumented runs; sanitized
+    # runs belong to `repro verify trace` and
+    # benchmarks/test_sanitizer_overhead.py (which times them on purpose).
+    assert not config.sanitize, \
+        "benchmark runs must not have the invariant sanitizer enabled"
     return GLOBAL_CACHE.run(config, workload_for(app, suite),
                             key=f"{suite}:{app}")
 

@@ -1,0 +1,46 @@
+"""Wall-clock cost of the runtime invariant sanitizer.
+
+``SystemConfig(sanitize=True)`` wraps a handful of instance methods with
+re-verification checks (see ``repro.verify.sanitizer``); this benchmark
+quantifies the slowdown so the "opt-in only, never in benchmark runs"
+policy (enforced by ``harness.run``) stays an informed decision, and
+asserts the instrumentation is *behaviorally* free: simulated cycle
+counts must be bit-identical with and without it.
+"""
+
+import time
+from dataclasses import replace
+
+from harness import base_config, par_workload, write_result
+from repro.common.params import DefenseKind, PinningMode, ThreatModel
+from repro.sim.runner import run_simulation
+
+APPS = ["fft", "radix"]
+
+
+def _timed_run(config, workload):
+    start = time.perf_counter()
+    result = run_simulation(config, workload)
+    return result, time.perf_counter() - start
+
+
+def test_sanitizer_overhead():
+    rows = []
+    for app in APPS:
+        workload = par_workload(app)
+        config = base_config("parallel").with_defense(
+            DefenseKind.FENCE, ThreatModel.MCV, PinningMode.EARLY)
+        plain, plain_s = _timed_run(config, workload)
+        sanitized, sanitized_s = _timed_run(
+            replace(config, sanitize=True), workload)
+        assert sanitized.cycles == plain.cycles, \
+            "the sanitizer must not perturb simulated time"
+        rows.append((app, plain_s, sanitized_s,
+                     sanitized_s / max(plain_s, 1e-9)))
+
+    lines = ["sanitizer wall-clock overhead (fence/comp/ep)",
+             f"{'app':<12}{'plain s':>10}{'sanitized s':>13}{'ratio':>8}"]
+    for app, plain_s, sanitized_s, ratio in rows:
+        lines.append(f"{app:<12}{plain_s:>10.3f}{sanitized_s:>13.3f}"
+                     f"{ratio:>8.2f}")
+    write_result("sanitizer_overhead.txt", "\n".join(lines))

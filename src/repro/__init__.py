@@ -17,6 +17,7 @@ Quickstart::
     print(fence_ep.cycles / unsafe.cycles)   # normalized CPI
 """
 
+from repro.common.errors import InvariantViolation, VerificationError
 from repro.common.params import (COMPREHENSIVE, SPECTRE, CacheParams,
                                  CoreParams, DefenseKind, NetworkParams,
                                  PinnedLoadsParams, PinningMode,
@@ -37,7 +38,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "COMPREHENSIVE", "SPECTRE", "CacheParams", "CoreParams", "DefenseKind",
-    "MicroOp", "NetworkParams", "OpClass", "PARALLEL_NAMES",
+    "InvariantViolation", "MicroOp", "NetworkParams", "OpClass",
+    "PARALLEL_NAMES", "VerificationError",
     "PinnedLoadsParams", "PinningMode", "SPEC17_NAMES", "SimResult",
     "Sweep", "System", "SystemConfig", "ThreatModel", "Trace", "Workload",
     "WorkloadProfile", "build_workload", "calibrate", "geomean",

@@ -8,7 +8,7 @@ breakdowns, hardware-structure statistics).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.common.stats import geomean
 
@@ -37,7 +37,8 @@ def format_normalized_cpi_table(title: str, apps: Sequence[str],
 
 def format_breakdown_table(title: str,
                            stacks: Mapping[str, Mapping[str, float]],
-                           extra: Mapping[str, Mapping[str, float]] = None,
+                           extra: Optional[Mapping[str, Mapping[str, float]]]
+                           = None,
                            ) -> str:
     """A Figure 1/9 panel: stacked per-condition overheads (%) per group,
     optionally followed by extra columns (e.g. LP/EP total overheads)."""

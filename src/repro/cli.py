@@ -7,6 +7,8 @@ Commands:
 * ``breakdown``  — the Figure 1 per-condition overhead stack
 * ``workloads``  — list the available benchmark profiles
 * ``hardware``   — the Table 1 CST cost rows from the analytical model
+* ``verify``     — the verification passes (``model``, ``trace``,
+  ``lint``); see ``docs/verification.md``
 """
 
 from __future__ import annotations
@@ -119,6 +121,84 @@ def _cmd_hardware(_args) -> int:
     return 0
 
 
+def _cmd_verify_model(args) -> int:
+    from repro.verify.explorer import EXPECTED_DEAD, explore
+    from repro.verify.model import ModelConfig
+    mutate = frozenset(args.mutate or ())
+    try:
+        config = ModelConfig(cores=args.cores, lines=args.lines,
+                             max_pins_per_core=args.max_pins,
+                             mutate=mutate)
+    except ValueError as error:
+        raise SystemExit(f"repro verify model: {error}")
+    result = explore(config)
+    print(f"explored {result.num_states} states / "
+          f"{result.num_transitions} transitions "
+          f"({config.cores} cores x {config.lines} lines)")
+    for violation in result.violations:
+        print(violation)
+    if mutate:
+        # checker self-test: an injected protocol bug MUST be detected
+        if result.violations:
+            print(f"mutation(s) {sorted(mutate)} detected; checker "
+                  f"self-test passed")
+            return 0
+        print(f"no violation under mutation(s) {sorted(mutate)}; the "
+              f"checker missed the injected bug")
+        return 1
+    status = 1 if result.violations else 0
+    dead = set(result.dead_pairs())
+    for state, kind in sorted(dead - EXPECTED_DEAD):
+        print(f"[coverage] ({state}, {kind}) became unreachable but "
+              f"is not expected-dead")
+        status = 1
+    for state, kind in sorted(EXPECTED_DEAD - dead):
+        print(f"[coverage] ({state}, {kind}) is expected-dead but "
+              f"was exercised")
+        status = 1
+    if status == 0:
+        print("all invariants hold; transition coverage matches the "
+              "expected-dead set")
+    return status
+
+
+def _cmd_verify_trace(args) -> int:
+    import dataclasses
+
+    from repro.common.errors import InvariantViolation
+    from repro.sim.runner import run_simulation
+    base, workload = _build_workload(args.workload, args.instructions,
+                                     args.threads)
+    config = base.with_defense(DefenseKind(args.defense),
+                               _THREAT_NAMES[args.threat],
+                               _PIN_NAMES[args.pinning])
+    config = dataclasses.replace(config, sanitize=True)
+    try:
+        result = run_simulation(config, workload)
+    except InvariantViolation as violation:
+        print(violation)
+        return 1
+    print(f"sanitized run clean: {args.workload} / {args.defense} / "
+          f"{args.threat} / {args.pinning}, {result.cycles} cycles")
+    return 0
+
+
+def _cmd_verify_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.verify.lint import lint_paths
+    paths = [Path(p) for p in args.paths] or [Path(__file__).parent]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"repro verify lint: no such path: {path}")
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    print(f"{len(findings)} finding(s) in "
+          f"{', '.join(str(p) for p in paths)}")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +238,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     hardware_p = sub.add_parser("hardware", help="Table 1 CST rows")
     hardware_p.set_defaults(func=_cmd_hardware)
+
+    verify_p = sub.add_parser(
+        "verify", help="protocol model check / sanitized run / lint")
+    verify_sub = verify_p.add_subparsers(dest="pass_name", required=True)
+
+    model_p = verify_sub.add_parser(
+        "model", help="exhaustively model-check the pinning protocol")
+    model_p.add_argument("--cores", type=int, default=2)
+    model_p.add_argument("--lines", type=int, default=2)
+    model_p.add_argument("--max-pins", type=int, default=2,
+                         help="max simultaneously pinned lines per core")
+    model_p.add_argument("--mutate", action="append", default=None,
+                         metavar="MUTATION",
+                         help="inject a named protocol bug; the check "
+                         "then must FAIL (checker self-test)")
+    model_p.set_defaults(func=_cmd_verify_model)
+
+    trace_p = verify_sub.add_parser(
+        "trace", help="run one workload with the invariant sanitizer on")
+    common(trace_p)
+    trace_p.add_argument("--defense", default="fence",
+                         choices=[k.value for k in DefenseKind])
+    trace_p.add_argument("--threat", default="comp",
+                         choices=sorted(_THREAT_NAMES))
+    trace_p.add_argument("--pinning", default="ep",
+                         choices=sorted(_PIN_NAMES))
+    trace_p.set_defaults(func=_cmd_verify_trace)
+
+    lint_p = verify_sub.add_parser(
+        "lint", help="determinism/idiom lint over the sources")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories (default: the installed "
+                        "repro package)")
+    lint_p.set_defaults(func=_cmd_verify_lint)
     return parser
 
 

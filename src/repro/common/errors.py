@@ -13,6 +13,31 @@ class SimulationError(ReproError):
     """The simulator reached an internally inconsistent state."""
 
 
+class VerificationError(ReproError):
+    """A verification pass (``repro verify``) could not run to completion
+    — e.g. the model checker's state budget was exhausted."""
+
+
+class InvariantViolation(SimulationError):
+    """The runtime sanitizer observed a broken simulator invariant.
+
+    Carries the name of the violated invariant, a human-readable detail
+    string, and the suffix of the sanitizer's event trace leading up to the
+    violation (most recent last) for debugging.
+    """
+
+    def __init__(self, invariant, detail, cycle=0, trace=()):
+        self.invariant = invariant
+        self.detail = detail
+        self.cycle = cycle
+        self.trace = tuple(trace)
+        message = f"[{invariant}] {detail} (cycle {cycle})"
+        if self.trace:
+            suffix = "\n  ".join(str(event) for event in self.trace[-12:])
+            message = f"{message}\n  recent events:\n  {suffix}"
+        super().__init__(message)
+
+
 class DeadlockError(SimulationError):
     """Forward progress stopped: no core retired an instruction for too long."""
 

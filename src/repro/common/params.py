@@ -174,6 +174,11 @@ class SystemConfig:
     write_retry_latency: int = 20  # backoff before a deferred write retries
     l1_prefetch: bool = True       # next-line L1 prefetcher (Table 1)
     deadlock_cycles: int = 200_000
+    #: Opt-in runtime invariant sanitizer (``repro.verify.sanitizer``).
+    #: Instruments the memory system, cores, and pinning controllers and
+    #: raises ``InvariantViolation`` on any broken invariant.  Costs
+    #: simulation speed; must stay False for performance measurements.
+    sanitize: bool = False
 
     @property
     def num_slices(self) -> int:

@@ -85,7 +85,7 @@ class Core(CorePort):
     def on_line_evicted(self, line: int) -> None:
         self._mcv_squash_check(line, "evict")
 
-    def cpt_insert(self, line: int, writer: int = None) -> None:
+    def cpt_insert(self, line: int, writer: Optional[int] = None) -> None:
         self.controller.cpt_insert(line, writer)
 
     def cpt_clear(self, line: int) -> None:

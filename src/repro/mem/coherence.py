@@ -51,7 +51,7 @@ class CorePort:
     def on_line_evicted(self, line: int) -> None:
         """L1 copy evicted (self or back-invalidation): MCV-squash check."""
 
-    def cpt_insert(self, line: int, writer: int = None) -> None:
+    def cpt_insert(self, line: int, writer: Optional[int] = None) -> None:
         """Received ``Inv*``: record that the line cannot be pinned.
         ``writer`` is the starving writer core (used by the §6.3 advanced
         CPT's reservation queue)."""
@@ -137,7 +137,7 @@ class CoherentMemory:
                 victim = slice_array.pick_victim(line)
                 victim_entry: DirEntry = slice_array.lookup(victim,
                                                             touch=False)
-                for holder in victim_entry.holders():
+                for holder in sorted(victim_entry.holders()):
                     self.l1s[holder].invalidate(victim)
                 slice_array.invalidate(victim)
             dir_entry = DirEntry()
@@ -358,7 +358,7 @@ class CoherentMemory:
             return False
         dir_entry: DirEntry = slice_array.lookup(victim, touch=False)
         # inclusive hierarchy: back-invalidate every private copy
-        for holder in dir_entry.holders():
+        for holder in sorted(dir_entry.holders()):
             holder_l1 = self.l1s[holder]
             if holder_l1.invalidate(victim):
                 self.network.send(slice_id, holder, "back_inv")
@@ -420,7 +420,7 @@ class CoherentMemory:
         use_inv_star = txn.attempts > 1
         deferred = False
         inv_lat = 0
-        for other in others:
+        for other in sorted(others):
             kind = "inv_star" if use_inv_star else "inv"
             inv_lat = max(inv_lat, 2 * self.network.send(slice_id, other,
                                                          kind))
@@ -444,10 +444,10 @@ class CoherentMemory:
             return
         # success: invalidate remaining plain-Inv sharers, grant M
         if not use_inv_star:
-            for other in others:
+            for other in sorted(others):
                 self._remote_invalidate(other, line, dir_entry)
         if txn.inv_star_recipients:
-            for recipient in txn.inv_star_recipients:
+            for recipient in sorted(txn.inv_star_recipients):
                 self.network.send(slice_id, recipient, "clear")
                 self.ports[recipient].cpt_clear(line)
         del self._write_txns[(core_id, line)]

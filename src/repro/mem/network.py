@@ -8,6 +8,8 @@ as in the simulated machine.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.params import NetworkParams
 from repro.common.stats import StatSet
 
@@ -39,7 +41,7 @@ class MeshNetwork:
         self.stats.bump("hop_cycles", lat)
         return lat
 
-    def message_count(self, kind: str = None) -> float:
+    def message_count(self, kind: Optional[str] = None) -> float:
         if kind is None:
             return self.stats["messages"]
         return self.stats[f"msg_{kind}"]

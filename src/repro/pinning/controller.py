@@ -300,7 +300,7 @@ class PinnedLoadsController:
     # CorePort delegation
     # ------------------------------------------------------------------
 
-    def cpt_insert(self, line: int, writer: int = None) -> None:
+    def cpt_insert(self, line: int, writer: Optional[int] = None) -> None:
         self.cpt.insert(line, writer=writer)
 
     def cpt_clear(self, line: int) -> None:

@@ -47,7 +47,7 @@ class TaintTracker:
 
     def _live_subset(self, roots: FrozenSet[int]) -> FrozenSet[int]:
         """Drop roots that are already architectural (retired / post-VP)."""
-        live = [r for r in roots if self._is_live_pre_vp(r)]
+        live = {r for r in roots if self._is_live_pre_vp(r)}
         if len(live) == len(roots):
             return roots
         return frozenset(live)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.common.errors import ConfigError, DeadlockError
 from repro.common.events import EventQueue
@@ -54,6 +54,12 @@ class System:
                  self.barriers)
             for core_id, trace in enumerate(workload.traces)]
         self.cycles = 0
+        self.sanitizer: Optional["Sanitizer"] = None
+        if config.sanitize:
+            # deferred import: the verify subsystem is optional tooling
+            from repro.verify.sanitizer import Sanitizer
+            self.sanitizer = Sanitizer(self)
+            self.sanitizer.attach()
 
     def run(self, max_cycles: int = 50_000_000) -> int:
         """Run to completion of every trace; returns total cycles."""
@@ -85,6 +91,8 @@ class System:
             if cycle >= max_cycles:
                 raise DeadlockError(cycle, "max_cycles exceeded")
         self.cycles = cycle
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
         return cycle
 
     @property

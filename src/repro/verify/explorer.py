@@ -1,0 +1,208 @@
+"""Exhaustive breadth-first exploration of the protocol model.
+
+For small configurations (2-3 cores x 1-2 lines) the reachable state space
+of :class:`repro.verify.model.PinnedProtocolModel` is a few thousand to a
+few hundred thousand states; this module enumerates all of it and checks:
+
+* **state safety** — SWMR and pin-safety in every reachable state;
+* **transition safety** — CPT-respect and the CPT-starvation obligation on
+  every fired transition;
+* **writer progress** — from every reachable state with an in-flight write
+  transaction, a completing transition for that transaction remains
+  reachable (no deadlock/livelock: Defer/Abort can always resolve);
+* **transition-table coverage** — which ``(L1 state, event)`` pairs the
+  protocol logic ever exercises; pairs that become dead indicate unhandled
+  or unreachable transition logic in ``CoherentMemory``'s concrete
+  counterpart.
+
+Violations carry the exact event trace from the initial state, so a broken
+protocol change fails with a replayable counterexample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.common.errors import VerificationError
+from repro.verify.model import (Event, LINE_STATES, ModelConfig,
+                                PinnedProtocolModel, ProtocolState, W_IDLE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure with its counterexample."""
+
+    invariant: str
+    detail: str
+    trace: Tuple[Event, ...]
+
+    def __str__(self) -> str:
+        steps = " -> ".join(str(event) for event in self.trace) or "<init>"
+        return f"[{self.invariant}] {self.detail}\n    via: {steps}"
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exhaustive exploration produced."""
+
+    config: ModelConfig
+    num_states: int
+    num_transitions: int
+    violations: List[Violation] = field(default_factory=list)
+    #: exercised (L1 state of the acting core's line, event kind) pairs
+    coverage: Set[Tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def dead_pairs(self) -> List[Tuple[str, str]]:
+        """(L1 state, event kind) pairs never exercised by any reachable
+        transition.  A pair both absent here and unlisted in
+        ``EXPECTED_DEAD`` points at transition logic that silently became
+        unreachable."""
+        kinds = sorted({kind for _, kind in self.coverage}
+                       | {kind for _, kind in EXPECTED_DEAD})
+        return [(state, kind)
+                for state in LINE_STATES for kind in kinds
+                if (state, kind) not in self.coverage]
+
+
+#: (L1 state, event) pairs that are dead *by protocol design* in the
+#: default model; ``repro verify model`` asserts the observed dead set
+#: matches exactly, so both a newly-dead and a newly-live pair fail.
+EXPECTED_DEAD: FrozenSet[Tuple[str, str]] = frozenset({
+    ("S", "LOAD"), ("E", "LOAD"), ("M", "LOAD"),    # loads need a miss
+    ("I", "EVICT"), ("I", "UNPIN"), ("I", "PIN"),   # need a resident line
+    ("I", "UPGRADE"), ("S", "UPGRADE"),             # silent upgrade: E only
+    ("M", "UPGRADE"),
+    ("E", "WRITE_ISSUE"), ("M", "WRITE_ISSUE"),     # writable: no GetX
+    ("I", "LLC_EVICT"),                             # needs a cached copy
+})
+
+
+def _reconstruct(parents: Dict[ProtocolState,
+                               Optional[Tuple[ProtocolState, Event]]],
+                 state: ProtocolState,
+                 extra: Optional[Event] = None) -> Tuple[Event, ...]:
+    trace: List[Event] = [] if extra is None else [extra]
+    cursor = state
+    while True:
+        parent = parents[cursor]
+        if parent is None:
+            break
+        cursor, event = parent
+        trace.append(event)
+    trace.reverse()
+    return tuple(trace)
+
+
+def explore(config: Optional[ModelConfig] = None,
+            check_progress: bool = True) -> ExplorationResult:
+    """Run the exhaustive BFS and all checks; never raises on protocol
+    violations (they are returned), only on exhausted exploration bounds.
+    """
+    config = config or ModelConfig()
+    model = PinnedProtocolModel(config)
+    init = model.initial_state()
+    parents: Dict[ProtocolState,
+                  Optional[Tuple[ProtocolState, Event]]] = {init: None}
+    frontier = deque([init])
+    edges: List[Tuple[int, int]] = []       # forward graph, by state id
+    state_ids: Dict[ProtocolState, int] = {init: 0}
+    states: List[ProtocolState] = [init]
+    #: per state id: (writer_core, line) txns completable right there
+    completions: Dict[int, Set[Tuple[int, int]]] = {}
+    result = ExplorationResult(config=config, num_states=0,
+                               num_transitions=0)
+    seen_violations: Set[Tuple[str, str]] = set()
+
+    def report(invariant: str, detail: str, state: ProtocolState,
+               extra: Optional[Event] = None) -> None:
+        key = (invariant, detail)
+        if key in seen_violations:
+            return
+        seen_violations.add(key)
+        result.violations.append(
+            Violation(invariant, detail,
+                      _reconstruct(parents, state, extra)))
+
+    for problem in model.check_state(init):
+        report("state", problem, init)
+    while frontier:
+        state = frontier.popleft()
+        sid = state_ids[state]
+        for event in model.enabled_events(state):
+            succ = model.apply(state, event)
+            result.num_transitions += 1
+            actor = event.core if event.kind != "LLC_EVICT" else None
+            if actor is not None:
+                result.coverage.add(
+                    (model.l1_state(state, actor, event.line), event.kind))
+            else:
+                for core in sorted(model.holders(state, event.line)):
+                    result.coverage.add(
+                        (model.l1_state(state, core, event.line),
+                         event.kind))
+            if model.completes_write(state, event):
+                completions.setdefault(sid, set()).add(
+                    (event.core, event.line))
+            known = succ in parents
+            if not known:
+                if len(parents) >= config.max_states:
+                    raise VerificationError(
+                        f"model exploration exceeded "
+                        f"{config.max_states} states; shrink the "
+                        f"configuration or raise max_states")
+                parents[succ] = (state, event)
+                state_ids[succ] = len(states)
+                states.append(succ)
+                frontier.append(succ)
+                for problem in model.check_state(succ):
+                    report("state", problem, succ)
+            for problem in model.check_transition(state, event, succ):
+                report("transition", problem, state, extra=event)
+            edges.append((sid, state_ids[succ]))
+    result.num_states = len(states)
+    if check_progress:
+        _check_progress(model, states, edges, completions, parents, report)
+    return result
+
+
+def _check_progress(model: PinnedProtocolModel,
+                    states: List[ProtocolState],
+                    edges: List[Tuple[int, int]],
+                    completions: Dict[int, Set[Tuple[int, int]]],
+                    parents, report) -> None:
+    """Backward reachability: every state with txn (c, l) in flight must
+    reach a state where that txn can complete.  A write transaction's
+    phase only returns to idle through completion, so plain backward
+    reachability from the completion-enabled states is exact."""
+    cfg = model.config
+    reverse: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        reverse.setdefault(dst, []).append(src)
+    for core in range(cfg.cores):
+        for line in range(cfg.lines):
+            txn = (core, line)
+            sources = [sid for sid, done in completions.items()
+                       if txn in done]
+            reachable = set(sources)
+            stack = list(sources)
+            while stack:
+                node = stack.pop()
+                for pred in reverse.get(node, ()):
+                    if pred not in reachable:
+                        reachable.add(pred)
+                        stack.append(pred)
+            idx = core * cfg.lines + line
+            for sid, state in enumerate(states):
+                if state.writes[idx] != W_IDLE and sid not in reachable:
+                    report(
+                        "progress",
+                        f"write of core {core} to line {line} can never "
+                        f"complete from a reachable state (Defer/Abort "
+                        f"livelock)", state)
+                    break

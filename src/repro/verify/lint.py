@@ -1,0 +1,318 @@
+"""AST-based determinism and idiom lint for the simulator sources.
+
+Simulation results must be a pure function of (configuration, workload,
+seed): the benchmark memoization (``ExperimentCache``), the figure
+regression tests, and cross-run comparisons all assume it.  This pass
+flags the constructs that silently break that property, plus the
+type-hint defect family that seeded this PR:
+
+* ``wall-clock``       — calls that read real time (``time.time``,
+  ``time.perf_counter``, ``datetime.now``...).  Simulated time lives in
+  ``EventQueue.now``; wall-clock reads make runs unreproducible.
+* ``global-random``    — module-level ``random.*`` draws use the shared,
+  unseeded global RNG.  Use an explicitly seeded ``random.Random(seed)``
+  (see ``workloads/generator.py``).
+* ``set-iteration``    — ``for``/comprehension iteration over a value
+  statically known to be a ``set``/``frozenset``.  Set order is an
+  implementation detail; when iteration feeds event scheduling or output,
+  it must be wrapped in ``sorted(...)``.
+* ``implicit-optional``— a parameter or annotated assignment typed as a
+  plain ``int``/``str``/... with a ``None`` default (``writer: int =
+  None``); the annotation must say ``Optional[...]``.
+
+Known-set inference is deliberately shallow and name-based (a lint, not a
+type checker): set displays/constructors/comprehensions, locals assigned
+from those (including via set operators), attributes annotated ``Set[...]``
+anywhere in the linted tree, and calls of functions/methods whose return
+annotation is a set type.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+#: Functions that read the wall clock, as ``module.attr`` paths.
+WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+}
+
+#: Names the global-RNG rule treats as the ``random`` module.
+RANDOM_MODULE = "random"
+
+#: ``random.<attr>`` accesses that do *not* draw from the global RNG:
+#: constructing an explicitly seeded generator is the recommended fix.
+RANDOM_SAFE_ATTRS = {"Random", "SystemRandom", "seed"}
+
+#: Iteration wrappers that impose a deterministic order on a set.
+ORDERING_WRAPPERS = {"sorted", "min", "max", "sum", "len", "any", "all",
+                     "frozenset", "set"}
+
+SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
+                  "AbstractSet"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.rule}] {self.message}")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute path of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = _dotted(node)
+    return name is not None and name.split(".")[-1] in SET_TYPE_NAMES
+
+
+def _annotation_allows_none(annotation: ast.AST) -> bool:
+    text = ast.unparse(annotation)
+    return ("Optional" in text or "None" in text or "Any" in text
+            or "object" in text)
+
+
+class _SetRegistry:
+    """Names of attributes/functions known (by annotation) to be sets.
+
+    Inference is by bare name, so an attribute name annotated ``Set[...]``
+    in one class and something else in another (e.g. ``_lines`` is a set in
+    ``CannotPinTable`` but an ``OrderedDict`` in ``LRUSet``) is ambiguous
+    and deliberately dropped — a false negative beats telling someone to
+    ``sorted()`` an order-bearing container.
+    """
+
+    def __init__(self) -> None:
+        self._set_attrs: Set[str] = set()
+        self._nonset_attrs: Set[str] = set()
+        self.set_returning: Set[str] = set()
+
+    def is_set_attr(self, name: str) -> bool:
+        return name in self._set_attrs and name not in self._nonset_attrs
+
+    def scan(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                target = node.target
+                bucket = (self._set_attrs
+                          if _annotation_is_set(node.annotation)
+                          else self._nonset_attrs)
+                if isinstance(target, ast.Attribute):
+                    bucket.add(target.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and _annotation_is_set(node.returns):
+                self.set_returning.add(node.name)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, registry: _SetRegistry) -> None:
+        self.path = path
+        self.registry = registry
+        self.findings: List[Finding] = []
+        #: per-function stack of local names inferred to hold sets
+        self._set_locals: List[Set[str]] = [set()]
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno,
+                                     node.col_offset, rule, message))
+
+    def _is_known_set(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in self.registry.set_returning:
+                return True
+            return False
+        if isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.Sub, ast.BitOr, ast.BitAnd,
+                                         ast.BitXor)):
+            return self._is_known_set(node.left) \
+                or self._is_known_set(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self._set_locals[-1]
+        if isinstance(node, ast.Attribute):
+            return self.registry.is_set_attr(node.attr)
+        return False
+
+    # -- scopes --------------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        self._check_arg_defaults(node)
+        args = node.args
+        scope = {arg.arg
+                 for arg in (args.posonlyargs + args.args
+                             + args.kwonlyargs)
+                 if _annotation_is_set(arg.annotation)}
+        self._set_locals.append(scope)
+        self.generic_visit(node)
+        self._set_locals.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- implicit Optional ---------------------------------------------
+
+    def _check_arg_defaults(self, node) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults: Sequence[Optional[ast.AST]] = \
+            [None] * (len(positional) - len(args.defaults)) \
+            + list(args.defaults)
+        pairs = list(zip(positional, defaults)) \
+            + list(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in pairs:
+            if default is None or arg.annotation is None:
+                continue
+            if isinstance(default, ast.Constant) and default.value is None \
+                    and not _annotation_allows_none(arg.annotation):
+                self._emit(
+                    arg, "implicit-optional",
+                    f"parameter '{arg.arg}: "
+                    f"{ast.unparse(arg.annotation)} = None' needs an "
+                    f"Optional[...] annotation")
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.value, ast.Constant) and node.value.value is None \
+                and not _annotation_allows_none(node.annotation):
+            self._emit(node, "implicit-optional",
+                       f"'{ast.unparse(node.target)}: "
+                       f"{ast.unparse(node.annotation)} = None' needs an "
+                       f"Optional[...] annotation")
+        if _annotation_is_set(node.annotation) \
+                and isinstance(node.target, ast.Name):
+            self._set_locals[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    # -- set inference through assignments -----------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_known_set(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_locals[-1].add(target.id)
+        self.generic_visit(node)
+
+    # -- set iteration -------------------------------------------------
+
+    def _check_iteration(self, node: ast.AST, iterable: ast.AST) -> None:
+        if self._is_known_set(iterable):
+            self._emit(
+                iterable, "set-iteration",
+                f"iteration over a set ({ast.unparse(iterable)}) has "
+                f"unspecified order; wrap it in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(node, generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building a *new* set from a set is order-insensitive
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # wall clock
+        name = _dotted(node.func)
+        if name in WALL_CLOCK_CALLS:
+            self._emit(node, "wall-clock",
+                       f"{name}() reads the wall clock; simulated time "
+                       f"must come from EventQueue.now")
+        elif name is not None and "." in name:
+            module, func = name.rsplit(".", 1)
+            if module == RANDOM_MODULE and func not in RANDOM_SAFE_ATTRS:
+                self._emit(node, "global-random",
+                           f"random.{func}() draws from the unseeded "
+                           f"global RNG; use a seeded random.Random")
+        # sorted(<set>) etc. impose an order: don't descend into the
+        # iterable argument with the set-iteration rule
+        if name in ORDERING_WRAPPERS:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    self.generic_visit(arg)
+            for keyword in node.keywords:
+                self.visit(keyword.value)
+            self.visit(node.func)
+            return
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                registry: Optional[_SetRegistry] = None) -> List[Finding]:
+    """Lint one module's source text."""
+    tree = ast.parse(source, filename=path)
+    if registry is None:
+        registry = _SetRegistry()
+        registry.scan(tree)
+    linter = _Linter(path, registry)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    The known-set registry (annotated attributes and set-returning
+    functions) is built across *all* files first, so e.g. iteration over
+    ``DirEntry.holders()`` is flagged in ``coherence.py`` even though the
+    annotation lives in ``directory.py``.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    registry = _SetRegistry()
+    sources = {}
+    for file in files:
+        source = file.read_text()
+        sources[file] = source
+        registry.scan(ast.parse(source, filename=str(file)))
+    findings: List[Finding] = []
+    for file, source in sources.items():
+        findings.extend(lint_source(source, str(file), registry))
+    return findings

@@ -1,0 +1,318 @@
+"""Abstract transition model of the MESI + Pinned Loads protocol.
+
+The concrete protocol lives in ``repro.mem.coherence`` and makes its
+decisions against live cache arrays, MSHRs, and network timing.  This
+module re-states only the *protocol-visible* state — per-core line states,
+the pin set, the Cannot-Pin Tables, and in-flight write transactions — as
+a finite, hashable value, together with the guarded transitions of §5 of
+the paper:
+
+* ``LOAD``        — a core fetches a line it does not hold (GetS).
+* ``UPGRADE``     — silent E→M upgrade on a store hit.
+* ``WRITE_ISSUE`` — a core queues a write needing exclusivity (GetX).
+* ``WRITE_DIR``   — the directory processes one write attempt: a pinned
+  sharer answers Defer and the writer Aborts; retries are GetX*, whose
+  Inv* inserts the line into every sharer's CPT; success invalidates the
+  remaining sharers and Clears the CPTs (Figures 3b and 5).
+* ``PIN`` / ``UNPIN`` — the pin lifecycle of a load (guarded by residency
+  and the CPT, §5.1.1/§5.1.5).
+* ``EVICT``       — an L1 capacity eviction (denied for pinned lines).
+* ``LLC_EVICT``   — an inclusive back-invalidation (denied while any core
+  pins the line, §5.1.3).
+
+The explorer (:mod:`repro.verify.explorer`) enumerates every reachable
+state by BFS and checks the safety invariants in :meth:`check_state` plus
+graph-level progress properties.  ``ModelConfig.mutate`` re-introduces
+known protocol bugs so the test suite can prove the checker detects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, NamedTuple, Tuple
+
+# MESI stable states of one line in one private L1 (Invalid = absent).
+INVALID, SHARED, EXCLUSIVE, MODIFIED = "I", "S", "E", "M"
+LINE_STATES = (INVALID, SHARED, EXCLUSIVE, MODIFIED)
+
+#: Write-transaction phases (collapsed: every attempt past the first uses
+#: GetX*/Inv*, so attempts >= 2 are protocol-equivalent).
+W_IDLE, W_FIRST, W_RETRY = 0, 1, 2
+
+#: Known-bug switches for ``ModelConfig.mutate`` — each silently removes
+#: one protocol obligation; the checker must flag every one of them.
+MUTATIONS = (
+    "invalidate_pinned",    # writer ignores Defer and invalidates anyway
+    "evict_pinned",         # evictions ignore the pin filter
+    "skip_cpt_insert",      # Inv* does not populate the CPT
+    "clear_on_defer",       # CPT cleared on Abort instead of on success
+    "pin_ignores_cpt",      # loads may pin CPT-resident lines
+)
+
+
+class ProtocolState(NamedTuple):
+    """One abstract machine state.  Fully hashable and comparable."""
+
+    #: flattened [core][line] -> MESI state letter
+    l1: Tuple[str, ...]
+    #: set of (core, line) pairs currently pinned
+    pinned: FrozenSet[Tuple[int, int]]
+    #: per-core frozenset of CPT-resident lines
+    cpt: Tuple[FrozenSet[int], ...]
+    #: flattened [core][line] -> write-transaction phase
+    writes: Tuple[int, ...]
+
+
+class Event(NamedTuple):
+    """One transition label: ``(kind, core, line)``."""
+
+    kind: str
+    core: int
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}(core={self.core}, line={self.line})"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Exploration bounds.  The defaults (2 cores x 2 lines) finish in
+    well under a second; 3 cores x 2 lines stays in the low millions of
+    states and is the recommended pre-merge configuration for protocol
+    changes."""
+
+    cores: int = 2
+    lines: int = 2
+    max_pins_per_core: int = 2
+    #: safety valve for the BFS frontier
+    max_states: int = 2_000_000
+    #: injected protocol bugs (testing the checker itself); see MUTATIONS
+    mutate: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.lines < 1 or self.max_pins_per_core < 0:
+            raise ValueError("model needs >= 1 core, >= 1 line, and a "
+                             "non-negative pin bound")
+        unknown = set(self.mutate) - set(MUTATIONS)
+        if unknown:
+            raise ValueError(f"unknown mutations: {sorted(unknown)}")
+
+
+class PinnedProtocolModel:
+    """Guarded-transition semantics over :class:`ProtocolState`."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+
+    # -- state helpers -------------------------------------------------
+
+    def initial_state(self) -> ProtocolState:
+        cfg = self.config
+        return ProtocolState(
+            l1=(INVALID,) * (cfg.cores * cfg.lines),
+            pinned=frozenset(),
+            cpt=(frozenset(),) * cfg.cores,
+            writes=(W_IDLE,) * (cfg.cores * cfg.lines),
+        )
+
+    def _idx(self, core: int, line: int) -> int:
+        return core * self.config.lines + line
+
+    def l1_state(self, state: ProtocolState, core: int, line: int) -> str:
+        return state.l1[self._idx(core, line)]
+
+    def holders(self, state: ProtocolState, line: int) -> List[int]:
+        return [c for c in range(self.config.cores)
+                if self.l1_state(state, c, line) != INVALID]
+
+    # -- transition relation -------------------------------------------
+
+    def enabled_events(self, state: ProtocolState) -> Iterator[Event]:
+        cfg = self.config
+        mutate = cfg.mutate
+        for core in range(cfg.cores):
+            pins_held = sum(1 for (c, _) in state.pinned if c == core)
+            for line in range(cfg.lines):
+                l1 = self.l1_state(state, core, line)
+                pinned = (core, line) in state.pinned
+                if l1 == INVALID:
+                    yield Event("LOAD", core, line)
+                else:
+                    if not pinned or "evict_pinned" in mutate:
+                        yield Event("EVICT", core, line)
+                    if (not pinned
+                            and pins_held < cfg.max_pins_per_core
+                            and (line not in state.cpt[core]
+                                 or "pin_ignores_cpt" in mutate)):
+                        yield Event("PIN", core, line)
+                if pinned:
+                    yield Event("UNPIN", core, line)
+                if l1 == EXCLUSIVE:
+                    yield Event("UPGRADE", core, line)
+                writes = state.writes[self._idx(core, line)]
+                if writes == W_IDLE and l1 in (INVALID, SHARED):
+                    yield Event("WRITE_ISSUE", core, line)
+                elif writes != W_IDLE:
+                    yield Event("WRITE_DIR", core, line)
+        for line in range(cfg.lines):
+            if self.holders(state, line) \
+                    and (not any(p[1] == line for p in state.pinned)
+                         or "evict_pinned" in self.config.mutate):
+                yield Event("LLC_EVICT", -1, line)   # directory-initiated
+
+    def apply(self, state: ProtocolState, event: Event) -> ProtocolState:
+        handler = getattr(self, f"_apply_{event.kind.lower()}")
+        return handler(state, event.core, event.line)
+
+    def _with_l1(self, state: ProtocolState, core: int, line: int,
+                 value: str) -> ProtocolState:
+        l1 = list(state.l1)
+        l1[self._idx(core, line)] = value
+        return state._replace(l1=tuple(l1))
+
+    def _apply_load(self, state: ProtocolState, core: int,
+                    line: int) -> ProtocolState:
+        l1 = list(state.l1)
+        holders = self.holders(state, line)
+        for holder in sorted(holders):
+            # a read downgrades any M/E owner to S (three-hop forward)
+            if l1[self._idx(holder, line)] in (EXCLUSIVE, MODIFIED):
+                l1[self._idx(holder, line)] = SHARED
+        l1[self._idx(core, line)] = SHARED if holders else EXCLUSIVE
+        return state._replace(l1=tuple(l1))
+
+    def _apply_evict(self, state: ProtocolState, core: int,
+                     line: int) -> ProtocolState:
+        return self._with_l1(state, core, line, INVALID)
+
+    def _apply_llc_evict(self, state: ProtocolState, _core: int,
+                         line: int) -> ProtocolState:
+        l1 = list(state.l1)
+        for core in range(self.config.cores):
+            l1[self._idx(core, line)] = INVALID
+        return state._replace(l1=tuple(l1))
+
+    def _apply_pin(self, state: ProtocolState, core: int,
+                   line: int) -> ProtocolState:
+        return state._replace(pinned=state.pinned | {(core, line)})
+
+    def _apply_unpin(self, state: ProtocolState, core: int,
+                     line: int) -> ProtocolState:
+        return state._replace(pinned=state.pinned - {(core, line)})
+
+    def _apply_upgrade(self, state: ProtocolState, core: int,
+                       line: int) -> ProtocolState:
+        return self._with_l1(state, core, line, MODIFIED)
+
+    def _apply_write_issue(self, state: ProtocolState, core: int,
+                           line: int) -> ProtocolState:
+        writes = list(state.writes)
+        writes[self._idx(core, line)] = W_FIRST
+        return state._replace(writes=tuple(writes))
+
+    def _apply_write_dir(self, state: ProtocolState, core: int,
+                         line: int) -> ProtocolState:
+        """One directory visit of an in-flight write (Figure 3b / 5)."""
+        mutate = self.config.mutate
+        phase = state.writes[self._idx(core, line)]
+        others = [o for o in sorted(self.holders(state, line)) if o != core]
+        star = phase == W_RETRY
+        cpt = list(state.cpt)
+        if star and "skip_cpt_insert" not in mutate:
+            for other in others:
+                cpt[other] = cpt[other] | {line}
+        deferring = [o for o in others if (o, line) in state.pinned]
+        if deferring and "invalidate_pinned" not in mutate:
+            # Defer/Abort: directory state unchanged, writer will retry
+            # with GetX*; Inv* recipients without a pin invalidated above.
+            l1 = list(state.l1)
+            if star:
+                for other in others:
+                    if other not in deferring:
+                        l1[self._idx(other, line)] = INVALID
+            writes = list(state.writes)
+            writes[self._idx(core, line)] = W_RETRY
+            if "clear_on_defer" in mutate:
+                cpt = [entry - {line} for entry in cpt]
+            return state._replace(l1=tuple(l1), cpt=tuple(cpt),
+                                  writes=tuple(writes))
+        # success: every other holder is invalidated, CPTs are Cleared,
+        # and the writer takes the line in M
+        l1 = list(state.l1)
+        for other in others:
+            l1[self._idx(other, line)] = INVALID
+        l1[self._idx(core, line)] = MODIFIED
+        writes = list(state.writes)
+        writes[self._idx(core, line)] = W_IDLE
+        cpt = [entry - {line} for entry in cpt]
+        # pins of invalidated sharers are deliberately NOT released here:
+        # a correct protocol never reaches this branch with a pinned
+        # sharer, and keeping the pair makes the pin-safety invariant
+        # flag any transition that invalidates a pinned line.
+        return state._replace(l1=tuple(l1), cpt=tuple(cpt),
+                              writes=tuple(writes))
+
+    # -- safety invariants ---------------------------------------------
+
+    def check_state(self, state: ProtocolState) -> List[str]:
+        """Safety violations in one state (empty list when healthy)."""
+        cfg = self.config
+        problems: List[str] = []
+        for line in range(cfg.lines):
+            states = [self.l1_state(state, c, line)
+                      for c in range(cfg.cores)]
+            exclusive = [c for c, s in enumerate(states)
+                         if s in (EXCLUSIVE, MODIFIED)]
+            sharers = [c for c, s in enumerate(states) if s == SHARED]
+            if len(exclusive) > 1:
+                problems.append(
+                    f"SWMR: line {line} writable in cores {exclusive}")
+            if exclusive and sharers:
+                problems.append(
+                    f"SWMR: line {line} owned by core {exclusive[0]} "
+                    f"while shared by cores {sharers}")
+        for core, line in sorted(state.pinned):
+            if self.l1_state(state, core, line) == INVALID:
+                problems.append(
+                    f"pin-safety: core {core} pins line {line} "
+                    f"but holds no copy")
+        return problems
+
+    def check_transition(self, state: ProtocolState, event: Event,
+                         succ: ProtocolState) -> List[str]:
+        """Postcondition checks on one fired transition.
+
+        These re-verify protocol obligations *independently of the guards*
+        (a buggy guard cannot vouch for itself):
+
+        * a PIN must not target a CPT-resident line (§5.1.5);
+        * after a deferred GetX* attempt, every deferring sharer must be
+          CPT-resident — this is the whole starvation argument of §6.3:
+          once it unpins, it cannot re-pin until the write Clears.
+        """
+        problems: List[str] = []
+        if event.kind == "PIN" and event.line in state.cpt[event.core]:
+            problems.append(
+                f"cpt-respect: core {event.core} pinned line {event.line} "
+                f"while it is in its Cannot-Pin Table")
+        if event.kind == "WRITE_DIR" \
+                and state.writes[self._idx(event.core, event.line)] \
+                == W_RETRY \
+                and not self.completes_write(state, event):
+            for other, line in sorted(succ.pinned):
+                if other != event.core and line == event.line \
+                        and line not in succ.cpt[other]:
+                    problems.append(
+                        f"cpt-starvation: core {other} defers the GetX* of "
+                        f"core {event.core} on line {line} without being "
+                        f"inserted into its Cannot-Pin Table")
+        return problems
+
+    def completes_write(self, state: ProtocolState, event: Event) -> bool:
+        """Does firing ``event`` in ``state`` complete a write txn?"""
+        if event.kind != "WRITE_DIR":
+            return False
+        others = [o for o in sorted(self.holders(state, event.line))
+                  if o != event.core]
+        deferring = any((o, event.line) in state.pinned for o in others)
+        return not deferring or "invalidate_pinned" in self.config.mutate

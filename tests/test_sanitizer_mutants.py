@@ -1,0 +1,179 @@
+"""The runtime invariant sanitizer: silent and side-effect-free on a
+correct simulator, and provably *able* to detect injected bugs.  Each
+mutant here plants a real Pinned Loads implementation bug (the kind a
+protocol refactor could introduce) and asserts the sanitized run dies
+with the right invariant."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.common.params import (CacheParams, DefenseKind,
+                                 PinnedLoadsParams, PinningMode,
+                                 SystemConfig, ThreatModel)
+from repro.core.pipeline import Core
+from repro.isa.trace import Trace, Workload
+from repro.isa.uops import MicroOp, OpClass
+from repro.mem.coherence import CoherentMemory
+from repro.pinning.cst import CacheShadowTable
+from repro.sim.runner import run_simulation
+from repro.sim.system import System
+from repro.workloads import parallel_workload
+
+
+def load(i, addr, deps=()):
+    return MicroOp(i, OpClass.LOAD, addr=addr, deps=deps)
+
+
+def store(i, addr, deps=()):
+    return MicroOp(i, OpClass.STORE, addr=addr, deps=deps)
+
+
+def alu(i, deps=()):
+    return MicroOp(i, OpClass.INT_ALU, deps=deps)
+
+
+def ep_config(num_cores=2, sanitize=True, **pin_kw):
+    pin_kw.setdefault("mode", PinningMode.EARLY)
+    return SystemConfig(num_cores=num_cores, defense=DefenseKind.FENCE,
+                        threat_model=ThreatModel.MCV,
+                        pinning=PinnedLoadsParams(**pin_kw),
+                        l1_prefetch=False, sanitize=sanitize)
+
+
+X = 0x40                       # line 0x1, warmed into S by both cores
+
+
+def contended_workload():
+    """Core 0 holds line 0x1 pinned (older cold load keeps it from being
+    the oldest load) while core 1's store wants it exclusive: the write
+    must Defer/retry until the pin releases (paper Figure 3b)."""
+    t0 = [load(0, 0x100000),   # cold DRAM miss: stays unretired for long
+          load(1, X)] + [alu(2 + i) for i in range(4)]
+    t1 = [load(0, X),          # makes X warm (shared in both L1s)
+          store(1, X)] + [alu(2 + i) for i in range(40)]
+    return Workload([Trace(t0), Trace(t1)], name="pin-contention")
+
+
+class TestHealthySystemsStayClean:
+    @pytest.mark.parametrize("mode", [PinningMode.NONE, PinningMode.LATE,
+                                      PinningMode.EARLY])
+    def test_parallel_run_clean(self, mode):
+        config = ep_config(num_cores=4, mode=mode)
+        workload = parallel_workload("fft", num_threads=4,
+                                     instructions_per_thread=300, seed=11)
+        run_simulation(config, workload)    # must not raise
+
+    def test_contended_run_clean_and_defers(self):
+        result = run_simulation(ep_config(), contended_workload())
+        assert result.cycles > 0
+
+    def test_sanitizer_does_not_change_results(self):
+        workload = parallel_workload("radix", num_threads=2,
+                                     instructions_per_thread=400, seed=5)
+        plain = run_simulation(ep_config(sanitize=False), workload)
+        sanitized = run_simulation(ep_config(sanitize=True), workload)
+        assert sanitized.cycles == plain.cycles
+
+    def test_off_by_default(self):
+        assert SystemConfig().sanitize is False
+
+
+class TestPinIgnoringInvalidation:
+    """Mutant: the core's Defer answer is broken (``has_pinned`` lies),
+    so a remote write invalidates a pinned sharer's copy -- the exact
+    single-thread-violation window the paper's §5.1.1 pin rule closes."""
+
+    def test_mutant_detected(self, monkeypatch):
+        monkeypatch.setattr(Core, "has_pinned", lambda self, line: False)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_simulation(ep_config(), contended_workload())
+        assert excinfo.value.invariant == "pin-safety"
+        assert excinfo.value.trace, "violation carries no event trace"
+
+
+class TestCstOverSubscription:
+    """Mutant: the CST always says yes, so Early Pinning pins more lines
+    into an L1 set than it has ways -- the §5.1.4 guarantee gone."""
+
+    def tiny_l1_config(self):
+        # 2 sets x 4 ways; CST records matched to the associativity
+        return SystemConfig(
+            num_cores=1, defense=DefenseKind.FENCE,
+            threat_model=ThreatModel.MCV,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                      l1_cst_records=4),
+            l1d=CacheParams(size_bytes=2 * 4 * 64, ways=4, latency=2),
+            l1_prefetch=False, sanitize=True)
+
+    def hot_set_workload(self):
+        # a cold blocker plus 12 pinnable loads, all mapping to L1 set 0
+        uops = [load(0, 0x100000), MicroOp(1, OpClass.BRANCH, deps=(0,))]
+        uops += [load(2 + i, (i * 2) * 64 * 64) for i in range(12)]
+        return Workload([Trace(uops)], name="hot-set")
+
+    def test_healthy_cst_keeps_the_bound(self):
+        run_simulation(self.tiny_l1_config(), self.hot_set_workload(),
+                       warm=False)     # must not raise
+
+    def test_mutant_detected(self, monkeypatch):
+        monkeypatch.setattr(CacheShadowTable, "try_pin",
+                            lambda self, line, placement, lq_id: True)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_simulation(self.tiny_l1_config(), self.hot_set_workload(),
+                           warm=False)
+        assert excinfo.value.invariant == "cst-capacity"
+
+    def test_inconsistent_geometry_detected(self):
+        """Not a code mutant but a config bug the sanitizer must also
+        catch: CST records exceeding the L1 associativity void the
+        §5.1.4 capacity guarantee."""
+        config = SystemConfig(
+            num_cores=1, defense=DefenseKind.FENCE,
+            threat_model=ThreatModel.MCV,
+            pinning=PinnedLoadsParams(mode=PinningMode.EARLY,
+                                      l1_cst_records=8),
+            l1d=CacheParams(size_bytes=2 * 4 * 64, ways=4, latency=2),
+            l1_prefetch=False, sanitize=True)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_simulation(config, self.hot_set_workload(), warm=False)
+        assert excinfo.value.invariant == "cst-capacity"
+
+
+class TestDoubleFiredCallback:
+    """Mutant: an MSHR retire bug replays completion callbacks, so one
+    load completes twice (double wakeups, double stat bumps)."""
+
+    def test_mutant_detected(self, monkeypatch):
+        orig_fill = CoherentMemory._l1_fill
+
+        def replaying_fill(self, core_id, line, state):
+            mshr = self.mshrs[core_id].outstanding(line)
+            callbacks = list(mshr.callbacks) if mshr is not None else []
+            orig_fill(self, core_id, line, state)
+            for callback in callbacks:      # the bug: fire them again
+                callback(self.events.now)
+
+        monkeypatch.setattr(CoherentMemory, "_l1_fill", replaying_fill)
+        config = ep_config(num_cores=1, mode=PinningMode.NONE)
+        workload = Workload([Trace([load(0, 0x9000)])], name="one-miss")
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_simulation(config, workload, warm=False)
+        assert excinfo.value.invariant == "callback-once"
+
+
+class TestCptOverSubscription:
+    """Mutant: the CPT's room check always says yes, so ``Inv*`` entries
+    overflow the 4-entry table (the §5.1.5 structure)."""
+
+    def test_mutant_detected(self, monkeypatch):
+        from repro.pinning.cpt import CannotPinTable
+        monkeypatch.setattr(CannotPinTable, "_has_room_for",
+                            lambda self, writer: True)
+        workload = parallel_workload("fft", num_threads=1,
+                                     instructions_per_thread=50, seed=1)
+        system = System(ep_config(num_cores=1), workload)
+        cpt_insert = system.cores[0].controller.cpt.insert
+        with pytest.raises(InvariantViolation) as excinfo:
+            for line in range(10):          # capacity is 4
+                cpt_insert(line)
+        assert excinfo.value.invariant == "cpt-occupancy"

@@ -1,0 +1,157 @@
+"""The determinism/idiom lint: each rule fires on a minimal repro, stays
+quiet on the idiomatic fix, and the shipped sources are clean."""
+
+from pathlib import Path
+
+from repro.verify.lint import Finding, lint_paths, lint_source
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        findings = lint_source("import time\nstart = time.time()\n")
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        findings = lint_source("import time\nt = time.perf_counter()\n")
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint_source(
+            "import datetime\nd = datetime.datetime.now()\n")
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_simulated_time_ok(self):
+        assert lint_source("now = events.now\n") == []
+
+
+class TestGlobalRandom:
+    def test_module_level_draw_flagged(self):
+        findings = lint_source("import random\nx = random.randint(0, 9)\n")
+        assert rules_of(findings) == ["global-random"]
+
+    def test_seeded_generator_ok(self):
+        source = ("import random\n"
+                  "rng = random.Random(1234)\n"
+                  "x = rng.randint(0, 9)\n")
+        assert lint_source(source) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        findings = lint_source("for x in {3, 1, 2}:\n    print(x)\n")
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_for_over_set_difference_flagged(self):
+        # `others` is inferred through the BinOp with a set operand
+        findings = lint_source("holders = set()\n"
+                               "others = holders - {0}\n"
+                               "for other in others:\n    pass\n")
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_comprehension_over_set_flagged(self):
+        findings = lint_source("xs = [x for x in {1, 2}]\n")
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_annotated_attribute_flagged(self):
+        source = ("from typing import Set\n"
+                  "class C:\n"
+                  "    def __init__(self):\n"
+                  "        self.members: Set[int] = set()\n"
+                  "    def walk(self):\n"
+                  "        for m in self.members:\n"
+                  "            print(m)\n")
+        assert "set-iteration" in rules_of(lint_source(source))
+
+    def test_set_returning_method_flagged(self):
+        source = ("from typing import Set\n"
+                  "class D:\n"
+                  "    def holders(self) -> Set[int]:\n"
+                  "        return set()\n"
+                  "entry = D()\n"
+                  "for h in entry.holders():\n"
+                  "    print(h)\n")
+        assert "set-iteration" in rules_of(lint_source(source))
+
+    def test_sorted_wrapping_ok(self):
+        assert lint_source("for x in sorted({3, 1, 2}):\n    pass\n") == []
+
+    def test_order_insensitive_reductions_ok(self):
+        assert lint_source("total = sum(x for x in {1, 2, 3})\n") == []
+        assert lint_source("biggest = max({1, 2, 3})\n") == []
+
+    def test_building_a_set_from_a_set_ok(self):
+        assert lint_source("ys = {y + 1 for y in {1, 2}}\n") == []
+
+    def test_conflicting_attribute_annotations_dropped(self):
+        """An attribute name that is a set in one class but an ordered
+        container in another must not be flagged: sorting an LRU order
+        would be a *worse* bug than the one the rule hunts."""
+        source = ("from typing import Set\n"
+                  "from collections import OrderedDict\n"
+                  "class CPT:\n"
+                  "    def __init__(self):\n"
+                  "        self._lines: Set[int] = set()\n"
+                  "class LRU:\n"
+                  "    def __init__(self):\n"
+                  "        self._lines: 'OrderedDict[int, object]' = "
+                  "OrderedDict()\n"
+                  "    def victim(self):\n"
+                  "        for line in self._lines:\n"
+                  "            return line\n")
+        assert lint_source(source) == []
+
+
+class TestImplicitOptional:
+    def test_parameter_default_none_flagged(self):
+        findings = lint_source(
+            "def f(writer: int = None) -> None:\n    pass\n")
+        assert rules_of(findings) == ["implicit-optional"]
+        assert "writer" in findings[0].message
+
+    def test_keyword_only_parameter_flagged(self):
+        findings = lint_source(
+            "def f(*, kind: str = None) -> None:\n    pass\n")
+        assert rules_of(findings) == ["implicit-optional"]
+
+    def test_optional_annotation_ok(self):
+        source = ("from typing import Optional\n"
+                  "def f(writer: Optional[int] = None) -> None:\n"
+                  "    pass\n")
+        assert lint_source(source) == []
+
+    def test_pep604_union_ok(self):
+        assert lint_source(
+            "def f(writer: 'int | None' = None) -> None:\n    pass\n") == []
+
+    def test_annotated_assignment_flagged(self):
+        findings = lint_source("limit: int = None\n")
+        assert rules_of(findings) == ["implicit-optional"]
+
+
+class TestOnTheRepository:
+    def test_repro_package_is_clean(self):
+        package = Path(__file__).resolve().parent.parent / "src" / "repro"
+        findings = lint_paths([package])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_findings_render_with_location(self):
+        finding = Finding("a.py", 3, 7, "wall-clock", "no clocks")
+        assert str(finding) == "a.py:3:7: [wall-clock] no clocks"
+
+    def test_cross_file_registry(self, tmp_path):
+        (tmp_path / "defs.py").write_text(
+            "from typing import Set\n"
+            "class DirEntry:\n"
+            "    def holders(self) -> Set[int]:\n"
+            "        return set()\n")
+        (tmp_path / "use.py").write_text(
+            "def f(entry):\n"
+            "    for h in entry.holders():\n"
+            "        print(h)\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["set-iteration"]
+        assert findings[0].path.endswith("use.py")

@@ -1,0 +1,87 @@
+"""The protocol model checker: clean explorations, exact transition
+coverage, counterexample traces, and the checker's own mutation
+self-tests (an exploration that cannot detect a known-bad protocol is
+worthless)."""
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.verify.explorer import EXPECTED_DEAD, explore
+from repro.verify.model import MUTATIONS, Event, ModelConfig
+
+
+class TestCleanExploration:
+    def test_two_cores_one_line(self):
+        result = explore(ModelConfig(cores=2, lines=1))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+        assert result.num_states == 272
+        assert result.num_transitions > result.num_states
+
+    def test_three_cores_one_line(self):
+        result = explore(ModelConfig(cores=3, lines=1))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+        assert result.num_states == 4368
+
+    def test_two_cores_two_lines_exhaustive(self):
+        """The ISSUE acceptance configuration: 2 cores x 2 lines, fully
+        explored, zero violations."""
+        result = explore(ModelConfig(cores=2, lines=2))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+        assert result.num_states == 73984
+
+    def test_dead_pairs_match_expected_exactly(self):
+        result = explore(ModelConfig(cores=2, lines=1))
+        assert set(result.dead_pairs()) == set(EXPECTED_DEAD)
+
+    def test_exploration_bound_raises(self):
+        with pytest.raises(VerificationError):
+            explore(ModelConfig(cores=2, lines=2, max_states=100))
+
+
+class TestMutationSelfTests:
+    """Every named protocol bug must produce at least one violation, in
+    the invariant family the bug breaks."""
+
+    EXPECTED_FAMILY = {
+        "invalidate_pinned": "state",       # pinned sharer loses its copy
+        "evict_pinned": "state",            # pinned victim evicted
+        "skip_cpt_insert": "transition",    # starving writer unprotected
+        "clear_on_defer": "transition",     # CPT entry dropped too early
+        "pin_ignores_cpt": "transition",    # pin lands on a CPT line
+    }
+
+    def test_families_cover_all_mutations(self):
+        assert set(self.EXPECTED_FAMILY) == set(MUTATIONS)
+
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_mutation_is_caught(self, mutation):
+        result = explore(ModelConfig(cores=2, lines=1,
+                                     mutate=frozenset({mutation})))
+        assert not result.ok, f"checker missed mutation {mutation!r}"
+        families = {v.invariant for v in result.violations}
+        assert self.EXPECTED_FAMILY[mutation] in families
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(mutate=frozenset({"not_a_mutation"}))
+
+
+class TestCounterexamples:
+    def test_violation_carries_replayable_trace(self):
+        result = explore(ModelConfig(cores=2, lines=1,
+                                     mutate=frozenset({"evict_pinned"})))
+        violation = result.violations[0]
+        assert violation.trace, "counterexample trace is empty"
+        assert all(isinstance(event, Event) for event in violation.trace)
+        # the trace must replay to a state exhibiting the violation
+        from repro.verify.model import PinnedProtocolModel
+        model = PinnedProtocolModel(
+            ModelConfig(cores=2, lines=1,
+                        mutate=frozenset({"evict_pinned"})))
+        state = model.initial_state()
+        for event in violation.trace:
+            assert event in model.enabled_events(state), \
+                f"{event} not enabled along its own counterexample"
+            state = model.apply(state, event)
+        assert model.check_state(state), \
+            "replayed counterexample reaches a clean state"
