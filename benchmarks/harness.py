@@ -11,6 +11,10 @@ Scale knobs (environment variables):
   (default 1000)
 * ``REPRO_PARALLEL_THREADS`` — thread count for parallel suites (default 8,
   as in the paper)
+* ``REPRO_JOBS``           — worker processes for grid-shaped benchmarks
+  (default 1 = serial); results are bit-identical either way
+* ``REPRO_CACHE_DIR``      — persistent result store; runs found there
+  are reused instead of re-simulated (honored by ``GLOBAL_CACHE``)
 
 The defaults regenerate every figure in a few minutes; raising them
 tightens the statistics at proportional cost.
@@ -21,11 +25,12 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro import (DefenseKind, PinningMode, SystemConfig, ThreatModel,
                    parallel_workload, scheme_grid, spec17_workload)
 from repro.analysis.breakdown import CONDITION_LEVELS
+from repro.sim.executor import Executor, Task
 from repro.sim.results import SimResult
 from repro.sim.runner import GLOBAL_CACHE
 from repro.workloads import PARALLEL_NAMES, SPEC17_NAMES
@@ -33,7 +38,12 @@ from repro.workloads import PARALLEL_NAMES, SPEC17_NAMES
 SPEC17_INSNS = int(os.environ.get("REPRO_SPEC17_INSNS", "4000"))
 PARALLEL_INSNS = int(os.environ.get("REPRO_PARALLEL_INSNS", "1000"))
 PARALLEL_THREADS = int(os.environ.get("REPRO_PARALLEL_THREADS", "8"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 SEED = 1
+
+#: Process-pool executor used to prefetch grid-shaped runs; ``None`` at
+#: REPRO_JOBS=1 (the plain serial path needs no pool).
+EXECUTOR: Optional[Executor] = Executor(jobs=JOBS) if JOBS > 1 else None
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -75,8 +85,20 @@ def run(config: SystemConfig, app: str, suite: str) -> SimResult:
     # benchmarks/test_sanitizer_overhead.py (which times them on purpose).
     assert not config.sanitize, \
         "benchmark runs must not have the invariant sanitizer enabled"
-    return GLOBAL_CACHE.run(config, workload_for(app, suite),
-                            key=f"{suite}:{app}")
+    return GLOBAL_CACHE.run(config, workload_for(app, suite))
+
+
+def prefetch(cells: List[SystemConfig], app: str, suite: str) -> None:
+    """Fan uncached (config x this app) runs over the executor pool,
+    depositing into ``GLOBAL_CACHE``.  Serial no-op at ``REPRO_JOBS=1``;
+    a failed worker just leaves its cell cold for the serial path to
+    re-raise."""
+    if EXECUTOR is None:
+        return
+    workload = workload_for(app, suite)
+    tasks = [Task(f"{suite}:{app}:{i}", config, workload)
+             for i, config in enumerate(cells)]
+    EXECUTOR.run_tasks(tasks, cache=GLOBAL_CACHE)
 
 
 def unsafe_run(app: str, suite: str) -> SimResult:
@@ -86,6 +108,9 @@ def unsafe_run(app: str, suite: str) -> SimResult:
 def grid_normalized_cpis(app: str, suite: str) -> Dict[str, float]:
     """Normalized CPI of every (scheme x extension) cell for one app."""
     base = base_config(suite)
+    prefetch([base] + [base.with_defense(defense, threat, pinning)
+                       for defense, threat, pinning
+                       in scheme_grid().values()], app, suite)
     unsafe = unsafe_run(app, suite)
     table = {}
     for label, (defense, threat, pinning) in scheme_grid().items():

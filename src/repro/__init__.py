@@ -26,8 +26,9 @@ from repro.common.stats import geomean, overhead_pct
 from repro.isa.trace import Trace, Workload
 from repro.isa.uops import MicroOp, OpClass
 from repro.isa.serialize import load_workload, save_workload
+from repro.sim.executor import Executor, ResultStore, Task, cache_key
 from repro.sim.results import SimResult
-from repro.sim.runner import run_simulation, scheme_grid
+from repro.sim.runner import ExperimentCache, run_simulation, scheme_grid
 from repro.sim.sweep import Sweep
 from repro.sim.system import System
 from repro.workloads import (PARALLEL_NAMES, SPEC17_NAMES, WorkloadProfile,
@@ -38,11 +39,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "COMPREHENSIVE", "SPECTRE", "CacheParams", "CoreParams", "DefenseKind",
-    "InvariantViolation", "MicroOp", "NetworkParams", "OpClass",
-    "PARALLEL_NAMES", "VerificationError",
+    "Executor", "ExperimentCache", "InvariantViolation", "MicroOp",
+    "NetworkParams", "OpClass", "PARALLEL_NAMES", "ResultStore", "Task",
+    "VerificationError",
     "PinnedLoadsParams", "PinningMode", "SPEC17_NAMES", "SimResult",
     "Sweep", "System", "SystemConfig", "ThreatModel", "Trace", "Workload",
-    "WorkloadProfile", "build_workload", "calibrate", "geomean",
+    "WorkloadProfile", "build_workload", "cache_key", "calibrate",
+    "geomean",
     "load_workload", "overhead_pct", "parallel_workload", "run_simulation",
     "save_workload", "scheme_grid", "spec17_workload", "__version__",
 ]

@@ -7,6 +7,8 @@ Commands:
 * ``breakdown``  — the Figure 1 per-condition overhead stack
 * ``workloads``  — list the available benchmark profiles
 * ``hardware``   — the Table 1 CST cost rows from the analytical model
+* ``bench``      — the executor/cache performance benchmark; writes
+  ``BENCH_executor.json`` (see ``docs/performance.md``)
 * ``verify``     — the verification passes (``model``, ``trace``,
   ``lint``); see ``docs/verification.md``
 """
@@ -118,6 +120,54 @@ def _cmd_hardware(_args) -> int:
     table = cst_hardware_table()
     print(format_stat_table("Table 1: CST hardware cost at 22nm",
                             table))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.sim.bench import run_bench, write_record
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    try:
+        record = run_bench(apps, schemes, args.instructions, args.jobs,
+                           args.cache_dir, timeout_s=args.timeout,
+                           run_serial=not args.no_serial,
+                           baseline_src=args.baseline_src)
+    except (RuntimeError, AssertionError, ValueError) as error:
+        raise SystemExit(f"repro bench: {error}")
+    if args.out:
+        write_record(record, args.out)
+    print(f"tasks         : {record['tasks']} "
+          f"({len(apps)} apps x {len(schemes)} schemes, "
+          f"{record['instructions_per_app']} instructions)")
+    if "serial" in record:
+        print(f"serial        : {record['serial']['seconds']}s")
+        print(f"parallel x{args.jobs}   : "
+              f"{record['parallel_cold']['seconds']}s "
+              f"(speedup {record['parallel_speedup']}x on "
+              f"{record['cpus']} cpu(s); results bit-identical)")
+    else:
+        print(f"parallel x{args.jobs}   : "
+              f"{record['parallel_cold']['seconds']}s")
+    warm = record["warm"]
+    print(f"warm cache    : {warm['seconds']}s "
+          f"({warm['simulated']} re-simulated, "
+          f"{warm['cache_hits']} served from {args.cache_dir})")
+    hot = record["hot_loop"]
+    print(f"hot loop      : {hot['speedup']}x vs reference "
+          f"({hot['cycles_per_second']} cycles/s on {hot['workload']})")
+    if "hot_loop_vs_baseline" in record:
+        vs = record["hot_loop_vs_baseline"]
+        per_app = ", ".join(
+            f"{app} {entry['speedup']}x"
+            for app, entry in sorted(vs["apps"].items()))
+        print(f"vs baseline   : {vs['geomean_speedup']}x geomean "
+              f"({per_app}; cycle counts identical)")
+    if args.out:
+        print(f"record        : {args.out}")
+    if args.require_warm_reuse and warm["simulated"] != 0:
+        print(f"FAIL: warm pass re-simulated {warm['simulated']} task(s); "
+              f"expected full cache reuse")
+        return 1
     return 0
 
 
@@ -238,6 +288,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     hardware_p = sub.add_parser("hardware", help="Table 1 CST rows")
     hardware_p.set_defaults(func=_cmd_hardware)
+
+    bench_p = sub.add_parser(
+        "bench", help="executor/cache performance benchmark")
+    bench_p.add_argument("--apps", default=",".join(
+        ("leela_r", "bwaves_r", "mcf_r", "namd_r")),
+        help="comma-separated SPEC17 app names")
+    bench_p.add_argument("--schemes",
+                         default="unsafe,fence-ep,dom-ep,stt-ep",
+                         help="comma-separated scheme labels "
+                         "(unsafe or scheme_grid cells)")
+    bench_p.add_argument("--instructions", type=int, default=4000,
+                         help="instructions per app (default 4000)")
+    bench_p.add_argument("--jobs", type=int, default=4,
+                         help="worker processes for the parallel phases")
+    bench_p.add_argument("--cache-dir", default=".repro-cache",
+                         help="persistent result store directory")
+    bench_p.add_argument("--timeout", type=float, default=None,
+                         help="per-task timeout in seconds")
+    bench_p.add_argument("--out", default="BENCH_executor.json",
+                         help="JSON record path ('' to skip writing)")
+    bench_p.add_argument("--no-serial", action="store_true",
+                         help="skip the serial baseline phase")
+    bench_p.add_argument("--require-warm-reuse", action="store_true",
+                         help="exit 1 unless the warm pass re-simulated "
+                         "nothing")
+    bench_p.add_argument("--baseline-src", default=None, metavar="SRC",
+                         help="src/ directory of another checkout (e.g. "
+                         "the pre-optimization seed) to time System.run "
+                         "against, in fixed-hash-seed subprocesses")
+    bench_p.set_defaults(func=_cmd_bench)
 
     verify_p = sub.add_parser(
         "verify", help="protocol model check / sanitized run / lint")

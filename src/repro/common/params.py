@@ -7,7 +7,8 @@ synthetic workloads exercise the same behaviours at tractable trace lengths.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict
 
 from repro.common.errors import ConfigError
 
@@ -208,3 +209,30 @@ class SystemConfig:
         pinning = replace(self.pinning, mode=pinning_mode)
         return replace(self, defense=defense, threat_model=threat_model,
                        pinning=pinning)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict representation (see ``from_dict``).
+
+        Enum members are flattened to their values/names so the dict is
+        canonical: two equal configs always produce the same dict.  Used
+        by the persistent experiment cache to key results on disk."""
+        data = asdict(self)
+        data["defense"] = self.defense.value
+        data["threat_model"] = self.threat_model.name
+        data["pinning"]["mode"] = self.pinning.mode.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from ``to_dict`` output."""
+        data = dict(data)
+        data["core"] = CoreParams(**data["core"])
+        data["l1d"] = CacheParams(**data["l1d"])
+        data["llc_slice"] = CacheParams(**data["llc_slice"])
+        data["network"] = NetworkParams(**data["network"])
+        pinning = dict(data["pinning"])
+        pinning["mode"] = PinningMode(pinning["mode"])
+        data["pinning"] = PinnedLoadsParams(**pinning)
+        data["defense"] = DefenseKind(data["defense"])
+        data["threat_model"] = ThreatModel[data["threat_model"]]
+        return cls(**data)

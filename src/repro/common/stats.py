@@ -14,6 +14,8 @@ class StatSet:
     ``stats.bump("mcv_squashes")`` without registration boilerplate.
     """
 
+    __slots__ = ("_counters",)
+
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
 

@@ -16,6 +16,8 @@ from repro.core.rob import ROBEntry
 class LoadQueue:
     """Program-ordered queue of in-flight loads (62 entries, Table 1)."""
 
+    __slots__ = ("capacity", "_loads")
+
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._loads: List[ROBEntry] = []
@@ -67,6 +69,8 @@ class LoadQueue:
 
 class StoreQueue:
     """Program-ordered queue of not-yet-retired stores (32 entries)."""
+
+    __slots__ = ("capacity", "_stores")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity

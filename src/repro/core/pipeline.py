@@ -33,12 +33,43 @@ from repro.security.threat import VPState
 #: L1-D read/write ports (Table 1): max loads issued to memory per cycle.
 L1_PORTS = 3
 
+#: ``Core.quiet_until`` bound meaning "quiet until the next event".
+QUIET_FOREVER = 1 << 62
+
+
+class RetireProgress:
+    """Shared retire counter for the O(1) deadlock scan.
+
+    Every core bumps ``count`` at retire, so ``System.run`` detects
+    forward progress with one attribute read per cycle instead of
+    summing per-core statistics."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
 
 class Core(CorePort):
     """One out-of-order core executing one trace."""
 
+    # "__dict__" stays in the slots: the opt-in invariant sanitizer
+    # (repro.verify.sanitizer) shadows instance methods, which needs an
+    # instance dict; the hot per-cycle attributes still live in slots.
+    __slots__ = (
+        "core_id", "config", "trace", "mem", "events", "barriers", "stats",
+        "rob", "lq", "sq", "write_buffer", "vp_state", "scheme", "taint",
+        "controller", "_pinning", "cycle", "done_cycle", "_cursor",
+        "_fetch_resume", "_retired_upto", "_ready", "_waiting_loads",
+        "_lp_parked", "_waiters", "_data_waiters", "_resolved_mispredicts",
+        "_wb_draining", "retired_count", "_progress", "_trace_len",
+        "_vp_active", "_rob_entries", "_wb_entries", "_width",
+        "_rob_capacity", "__dict__",
+    )
+
     def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
-                 mem: CoherentMemory, events: EventQueue, barriers) -> None:
+                 mem: CoherentMemory, events: EventQueue, barriers,
+                 progress: Optional[RetireProgress] = None) -> None:
         self.core_id = core_id
         self.config = config
         self.trace = trace
@@ -70,6 +101,17 @@ class Core(CorePort):
         self._data_waiters: Dict[int, List[ROBEntry]] = {}
         self._resolved_mispredicts: set = set()
         self._wb_draining = False
+        self.retired_count = 0
+        self._progress = progress if progress is not None \
+            else RetireProgress()
+        # hot-loop hoists: immutable facts and stable containers read
+        # every cycle by ``tick`` (the deques are never reassigned)
+        self._trace_len = len(trace)
+        self._vp_active = self.scheme.gates_issue or self.taint is not None
+        self._rob_entries = self.rob._entries
+        self._wb_entries = self.write_buffer._entries
+        self._width = self.config.core.width
+        self._rob_capacity = self.rob.capacity
         mem.attach_port(core_id, self)
 
     # ------------------------------------------------------------------
@@ -116,6 +158,86 @@ class Core(CorePort):
         return self.done_cycle is not None
 
     def tick(self, cycle: int) -> None:
+        """One pipeline step.  This is the hot path: every stage call is
+        guarded by the cheap condition that makes it a no-op, so an idle
+        or memory-bound cycle costs a handful of attribute reads instead
+        of seven function calls.  The stages keep their internal guards,
+        so ``tick_reference`` (the seed loop, unguarded) stays
+        behaviour-identical — asserted by the tests."""
+        if self.done_cycle is not None:
+            return
+        self.cycle = cycle
+        rob_entries = self._rob_entries
+        if rob_entries:
+            self._retire_stage()
+        if self._vp_active:
+            self._update_vps()
+        if self._pinning:
+            self.controller.tick()
+        if self._lp_parked:
+            self._lp_retry_parked()
+        if self._ready or self._waiting_loads:
+            self._issue_stage()
+        if self._cursor < self._trace_len and cycle >= self._fetch_resume:
+            self._dispatch_stage()
+        if self._wb_entries and not self._wb_draining:
+            self._kick_write_buffer()
+        if (not rob_entries and not self._wb_entries
+                and self._cursor >= self._trace_len):
+            self.done_cycle = cycle
+            self.stats.set("done_cycle", cycle)
+
+    def quiet_until(self, cycle: int) -> int:
+        """Exclusive upper bound on cycles whose ticks are provably
+        no-ops for this core absent an intervening event; ``0`` if the
+        core may act at ``cycle + 1``.
+
+        This is the soundness contract behind ``System.run``'s
+        fast-forward: every per-cycle stage is frozen unless one of the
+        conditions below holds, because all other state transitions
+        (completions, memory fills, write-buffer drains, branch
+        resolutions and the squashes they cause) arrive via the event
+        queue, and the caller never skips past a pending event.  Cores
+        with per-cycle machinery of their own (VP walks, taint, pinning
+        controller) are conservatively never quiet.
+        """
+        if self._vp_active or self._pinning:
+            return 0
+        if self._ready or self._waiting_loads or self._lp_parked:
+            return 0
+        if self._wb_entries and not self._wb_draining:
+            return 0
+        entries = self._rob_entries
+        if entries:
+            head = entries[0]
+            opclass = head.uop.opclass
+            if opclass is OpClass.ATOMIC:
+                return 0    # head-issue attempt runs inside retire
+            elif opclass is OpClass.BARRIER:
+                # un-notified heads must tick to arrive; released ones
+                # retire.  A notified, unreleased barrier is frozen
+                # until another core (never quiet mid-retire) releases.
+                if not head.barrier_notified \
+                        or self.barriers.released(head.uop.barrier_id):
+                    return 0
+            elif opclass is OpClass.FENCE:
+                if not self._wb_entries:
+                    return 0    # retirable right now
+            elif head.complete:
+                return 0    # may retire (or attempt to) next tick
+        if self._cursor < self._trace_len \
+                and len(entries) < self._rob_capacity:
+            uop = self.trace[self._cursor]
+            if not ((uop.is_load and self.lq.full)
+                    or (uop.is_store and self.sq.full)):
+                if self._fetch_resume <= cycle + 1:
+                    return 0    # would dispatch next tick
+                return self._fetch_resume   # quiet until the resteer
+        return QUIET_FOREVER
+
+    def tick_reference(self, cycle: int) -> None:
+        """The seed per-cycle step: unconditional stage calls in the
+        original order.  Validation baseline for the guarded ``tick``."""
         if self.done:
             return
         self.cycle = cycle
@@ -187,6 +309,8 @@ class Core(CorePort):
             self.vp_state.serializing.discard(head.index)
         self.rob.pop_head()
         self._retired_upto = head.index + 1
+        self.retired_count += 1
+        self._progress.count += 1
         self.stats.bump("retired")
 
     # ------------------------------------------------------------------
@@ -270,18 +394,17 @@ class Core(CorePort):
         elif opclass is OpClass.BRANCH:
             entry.issued = True
             self.events.schedule_after(
-                cp.branch_exec_latency,
-                lambda: self._on_branch_resolved(entry))
+                cp.branch_exec_latency, self._on_branch_resolved, entry)
         elif opclass in (OpClass.LOAD, OpClass.STORE, OpClass.ATOMIC):
             # memory ops only generate their address here; "issued" is
             # reserved for the actual memory access
             self.events.schedule_after(
-                cp.agen_latency, lambda: self._on_addr_ready(entry))
+                cp.agen_latency, self._on_addr_ready, entry)
         else:
             raise AssertionError(f"unexpected ready uop {entry}")
 
     def _schedule_complete(self, entry: ROBEntry, latency: int) -> None:
-        self.events.schedule_after(latency, lambda: self._complete(entry))
+        self.events.schedule_after(latency, self._complete, entry)
 
     def _complete(self, entry: ROBEntry) -> None:
         if entry.squashed or entry.complete:
@@ -525,11 +648,13 @@ class Core(CorePort):
     def _dispatch_stage(self) -> None:
         if self.cycle < self._fetch_resume:
             return
-        width = self.config.core.width
         dispatched = 0
         trace = self.trace
-        while dispatched < width and self._cursor < len(trace) \
-                and not self.rob.full:
+        trace_len = self._trace_len
+        rob_entries = self._rob_entries
+        rob_capacity = self._rob_capacity
+        while dispatched < self._width and self._cursor < trace_len \
+                and len(rob_entries) < rob_capacity:
             uop = trace[self._cursor]
             if uop.is_load and self.lq.full:
                 break
@@ -653,7 +778,7 @@ class Core(CorePort):
 
     @property
     def retired(self) -> int:
-        return int(self.stats["retired"])
+        return self.retired_count
 
     def __repr__(self) -> str:
         return (f"Core(id={self.core_id}, retired={self.retired}, "

@@ -66,6 +66,8 @@ class ROBEntry:
 class ReorderBuffer:
     """In-order window of in-flight uops with index lookup."""
 
+    __slots__ = ("capacity", "_entries", "_by_index")
+
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: Deque[ROBEntry] = deque()

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+import hashlib
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.isa.uops import MicroOp, OpClass
 
@@ -53,6 +54,27 @@ class Workload:
             raise ValueError("workload needs at least one trace")
         self.traces: List[Trace] = list(traces)
         self.name = name
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the actual instruction streams (not the name).
+
+        Two workloads that share a name but differ in any uop (different
+        instruction count, seed, profile...) get different fingerprints,
+        so experiment caches keyed on it can never alias them.  Computed
+        once and memoized; traces are immutable after construction."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for trace in self.traces:
+                digest.update(b"T")
+                for uop in trace:
+                    record = (uop.index, uop.opclass.value, uop.deps,
+                              uop.data_deps, uop.addr, uop.mispredicted,
+                              uop.barrier_id)
+                    digest.update(repr(record).encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def num_threads(self) -> int:

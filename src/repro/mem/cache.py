@@ -29,22 +29,26 @@ class LineState(enum.Enum):
 class CacheArray:
     """A physically-indexed, set-associative array with LRU replacement."""
 
+    __slots__ = ("params", "num_sets", "_sets", "_mask")
+
     def __init__(self, params: CacheParams) -> None:
         params.validate()
         self.params = params
         self.num_sets = params.sets
+        self._mask = self.num_sets - 1      # sets is a power of two
         self._sets: List[LRUSet] = [LRUSet(params.ways)
                                     for _ in range(self.num_sets)]
 
     def set_of(self, line: int) -> int:
-        return line & (self.num_sets - 1)
+        return line & self._mask
 
     def _set(self, line: int) -> LRUSet:
-        return self._sets[line & (self.num_sets - 1)]
+        return self._sets[line & self._mask]
 
     def lookup(self, line: int, touch: bool = True) -> Optional[LineState]:
-        """State of ``line`` if resident (``None`` on miss)."""
-        cache_set = self._set(line)
+        """State of ``line`` if resident (``None`` on miss).  Called on
+        every load/store/probe, so the set index is computed inline."""
+        cache_set = self._sets[line & self._mask]
         state = cache_set.get(line)
         if state is not None and touch:
             cache_set.touch(line)
@@ -103,6 +107,8 @@ class MSHR:
 
 class MSHRFile:
     """The set of outstanding fills for one L1 cache."""
+
+    __slots__ = ("_entries",)
 
     def __init__(self) -> None:
         self._entries: Dict[int, MSHR] = {}

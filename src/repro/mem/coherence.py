@@ -41,6 +41,8 @@ class CorePort:
     use this default implementation directly as a passive stub.
     """
 
+    __slots__ = ()
+
     def has_pinned(self, line: int) -> bool:
         """Is ``line`` currently pinned by a load of this core? (§5.1.1)"""
         return False
@@ -73,6 +75,14 @@ class _WriteTxn:
 class CoherentMemory:
     """The full shared-memory system: per-core L1s, sliced LLC+directory,
     mesh network, and DRAM behind the LLC."""
+
+    # "__dict__" stays in the slots so the opt-in invariant sanitizer can
+    # shadow instance methods (repro.verify.sanitizer)
+    __slots__ = (
+        "config", "events", "network", "stats", "num_slices", "l1s",
+        "mshrs", "slices", "ports", "_busy_lines", "_write_txns",
+        "_retry_backoff", "__dict__",
+    )
 
     def __init__(self, config: SystemConfig, events: EventQueue) -> None:
         self.config = config
@@ -193,7 +203,7 @@ class CoherentMemory:
         if l1.lookup(line) is not None:
             self.stats.bump("l1_load_hits")
             done = self.events.now + self.config.l1d.latency
-            self.events.schedule(done, lambda: on_complete(done))
+            self.events.schedule(done, on_complete, done)
             return
         self.stats.bump("l1_load_misses")
         mshr_file = self.mshrs[core_id]
@@ -207,7 +217,7 @@ class CoherentMemory:
         lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
                                                           "getS")
         self.events.schedule_after(
-            lat, lambda: self._dir_read(core_id, line, slice_id))
+            lat, self._dir_read, core_id, line, slice_id)
         if self.config.l1_prefetch:
             self._maybe_prefetch(core_id, line + 1)
 
@@ -225,7 +235,7 @@ class CoherentMemory:
         lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
                                                           "getS_pf")
         self.events.schedule_after(
-            lat, lambda: self._dir_read(core_id, line, slice_id))
+            lat, self._dir_read, core_id, line, slice_id)
 
     def load_invisible(self, core_id: int, line: int,
                        on_complete: Callback) -> None:
@@ -256,13 +266,12 @@ class CoherentMemory:
                         + self.network.latency(slice_id, core_id))
         self.stats.bump("invisible_load_cycles", lat)
         done = self.events.now + lat
-        self.events.schedule(done, lambda: on_complete(done))
+        self.events.schedule(done, on_complete, done)
 
     def _dir_read(self, core_id: int, line: int, slice_id: int) -> None:
         if line in self._busy_lines:
             self.events.schedule_after(
-                self._retry_backoff,
-                lambda: self._dir_read(core_id, line, slice_id))
+                self._retry_backoff, self._dir_read, core_id, line, slice_id)
             return
         slice_array = self.slices[slice_id]
         dir_entry: Optional[DirEntry] = slice_array.lookup(line)
@@ -273,8 +282,8 @@ class CoherentMemory:
                 # every candidate victim is pinned; retry the fill later
                 self.stats.bump("eviction_retries")
                 self.events.schedule_after(
-                    self._retry_backoff,
-                    lambda: self._dir_read(core_id, line, slice_id))
+                    self._retry_backoff, self._dir_read,
+                    core_id, line, slice_id)
                 return
             dir_entry = DirEntry()
             slice_array.fill(line, dir_entry)
@@ -305,7 +314,7 @@ class CoherentMemory:
     def _finish_load(self, core_id: int, line: int, extra_lat: int,
                      state: LineState) -> None:
         self.events.schedule_after(
-            extra_lat, lambda: self._l1_fill(core_id, line, state))
+            extra_lat, self._l1_fill, core_id, line, state)
 
     def _l1_fill(self, core_id: int, line: int, state: LineState) -> None:
         l1 = self.l1s[core_id]
@@ -319,8 +328,8 @@ class CoherentMemory:
                     # fill waits for a pinned load to retire
                     self.stats.bump("eviction_retries")
                     self.events.schedule_after(
-                        self._retry_backoff,
-                        lambda: self._l1_fill(core_id, line, state))
+                        self._retry_backoff, self._l1_fill,
+                        core_id, line, state)
                     return
                 self._evict_l1(core_id, victim)
             l1.fill(line, state)
@@ -380,7 +389,7 @@ class CoherentMemory:
         if state is not None and state.writable:
             l1.set_state(line, LineState.MODIFIED)
             done = self.events.now + self.config.l1d.latency
-            self.events.schedule(done, lambda: on_complete(done))
+            self.events.schedule(done, on_complete, done)
             return
         slice_id = slice_of(line, self.num_slices)
         lat = self.config.l1d.latency + self.network.send(core_id, slice_id,
@@ -389,15 +398,14 @@ class CoherentMemory:
         if key not in self._write_txns:
             self._write_txns[key] = _WriteTxn()
         self.events.schedule_after(
-            lat, lambda: self._dir_write(core_id, line, slice_id,
-                                         on_complete))
+            lat, self._dir_write, core_id, line, slice_id, on_complete)
 
     def _dir_write(self, core_id: int, line: int, slice_id: int,
                    on_complete: Callback) -> None:
         if line in self._busy_lines:
             self.events.schedule_after(
-                self._retry_backoff,
-                lambda: self._dir_write(core_id, line, slice_id, on_complete))
+                self._retry_backoff, self._dir_write,
+                core_id, line, slice_id, on_complete)
             return
         txn = self._write_txns[(core_id, line)]
         txn.attempts += 1
@@ -408,9 +416,8 @@ class CoherentMemory:
             if not self._allocate_llc(slice_id, line):
                 self.stats.bump("eviction_retries")
                 self.events.schedule_after(
-                    self._retry_backoff,
-                    lambda: self._dir_write(core_id, line, slice_id,
-                                            on_complete))
+                    self._retry_backoff, self._dir_write,
+                    core_id, line, slice_id, on_complete)
                 return
             dir_entry = DirEntry()
             slice_array.fill(line, dir_entry)
@@ -439,8 +446,8 @@ class CoherentMemory:
             self.network.send(core_id, slice_id, "abort")
             self.stats.bump("write_retries")
             self.events.schedule_after(
-                self._retry_backoff + inv_lat,
-                lambda: self._dir_write(core_id, line, slice_id, on_complete))
+                self._retry_backoff + inv_lat, self._dir_write,
+                core_id, line, slice_id, on_complete)
             return
         # success: invalidate remaining plain-Inv sharers, grant M
         if not use_inv_star:
@@ -456,7 +463,7 @@ class CoherentMemory:
         self._busy_lines.add(line)
         done = self.events.now + lat
         self.events.schedule(
-            done, lambda: self._finish_write(core_id, line, on_complete))
+            done, self._finish_write, core_id, line, on_complete)
 
     def _remote_invalidate(self, core_id: int, line: int,
                            dir_entry: DirEntry) -> None:
@@ -479,9 +486,8 @@ class CoherentMemory:
                 if victim is None:
                     self.stats.bump("eviction_retries")
                     self.events.schedule_after(
-                        self._retry_backoff,
-                        lambda: self._finish_write(core_id, line,
-                                                   on_complete))
+                        self._retry_backoff, self._finish_write,
+                        core_id, line, on_complete)
                     return
                 self._evict_l1(core_id, victim)
             l1.fill(line, LineState.MODIFIED)

@@ -17,6 +17,8 @@ from repro.common.stats import StatSet
 class MeshNetwork:
     """Latency/traffic model of the on-chip network."""
 
+    __slots__ = ("params", "stats")
+
     def __init__(self, params: NetworkParams) -> None:
         self.params = params
         self.stats = StatSet()

@@ -10,7 +10,7 @@ deadlock).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 
 class WriteBufferEntry:
@@ -24,11 +24,16 @@ class WriteBufferEntry:
 class WriteBuffer:
     """A bounded FIFO of retired-but-unperformed stores (line granularity)."""
 
+    __slots__ = ("capacity", "_entries", "_line_counts")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("write buffer capacity must be >= 1")
         self.capacity = capacity
         self._entries: Deque[WriteBufferEntry] = deque()
+        #: refcount per line, so ``contains_line`` (on the load-issue
+        #: path, called several times per cycle) is one dict probe
+        self._line_counts: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,6 +52,8 @@ class WriteBuffer:
             raise OverflowError("write buffer full")
         entry = WriteBufferEntry(line)
         self._entries.append(entry)
+        counts = self._line_counts
+        counts[line] = counts.get(line, 0) + 1
         return entry
 
     def head(self) -> Optional[WriteBufferEntry]:
@@ -55,11 +62,18 @@ class WriteBuffer:
     def contains_line(self, line: int) -> bool:
         """Is a retired-but-unperformed store to ``line`` buffered?  Used
         for store-to-load forwarding from the write buffer."""
-        return any(entry.line == line for entry in self._entries)
+        return line in self._line_counts
 
     def pop(self) -> WriteBufferEntry:
         """Remove the head entry once its write has performed."""
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        counts = self._line_counts
+        remaining = counts[entry.line] - 1
+        if remaining:
+            counts[entry.line] = remaining
+        else:
+            del counts[entry.line]
+        return entry
 
     @property
     def empty(self) -> bool:

@@ -1,0 +1,299 @@
+"""Parallel experiment execution and the persistent result store.
+
+Sweeps are embarrassingly parallel: every (config, workload) cell is an
+independent, deterministic simulation.  This module provides
+
+* ``cache_key`` — a content-addressed identity for one experiment:
+  sha256 over the canonical config dict, the workload *content*
+  fingerprint (not its name), and the cache format version;
+* ``ResultStore`` — an on-disk, content-addressed store of ``SimResult``
+  JSON documents, shared between processes and across runs;
+* ``Executor`` — a process-pool engine that fans a batch of ``Task``s
+  over N workers with per-task timeouts and failure isolation.
+
+Determinism: simulations are pure functions of (config, workload), so
+results are bit-identical whatever ``jobs`` is — the executor only
+changes *when* each cell is computed, never *what* it computes.  The
+test suite asserts this (``tests/test_executor.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.params import SystemConfig
+from repro.isa.trace import Workload
+from repro.sim.results import SimResult
+
+#: Bump when the on-disk payload or the simulator's observable behaviour
+#: changes; old entries become unreachable (different keys) not corrupt.
+CACHE_FORMAT_VERSION = 1
+
+# canonical config JSON is memoized per config object: sweeps reuse a
+# handful of configs across hundreds of workload cells
+_config_json_memo: Dict[int, Tuple[SystemConfig, str]] = {}
+
+
+def _config_json(config: SystemConfig) -> str:
+    memo = _config_json_memo.get(id(config))
+    if memo is not None and memo[0] is config:
+        return memo[1]
+    text = json.dumps(config.to_dict(), sort_keys=True)
+    _config_json_memo[id(config)] = (config, text)
+    return text
+
+
+def cache_key(config: SystemConfig, workload: Workload) -> str:
+    """Content-addressed identity of one experiment.
+
+    Keyed on what the simulation *consumes* — the full config and the
+    actual trace content — never on the workload's display name, so two
+    same-named workloads with different traces can never alias (and two
+    identically-generated workloads always share a cache entry).
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-cache-v{CACHE_FORMAT_VERSION}\n".encode())
+    h.update(_config_json(config).encode())
+    h.update(b"\n")
+    h.update(workload.fingerprint.encode())
+    return h.hexdigest()
+
+
+class ResultStore:
+    """Persistent content-addressed store of simulation results.
+
+    Layout: ``<root>/v<FORMAT>/<key[:2]>/<key>.json`` — two-level fanout
+    keeps directories small on big sweeps.  Writes go through a temp
+    file + ``os.replace`` so concurrent writers (pool workers, parallel
+    CI jobs) can only ever produce complete entries.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self._dir = os.path.join(self.root, f"v{CACHE_FORMAT_VERSION}")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._dir, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """Load the stored result for ``key``; ``None`` when absent or
+        unreadable (a corrupt entry behaves like a miss)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        return SimResult.from_dict(payload["result"])
+
+    def put(self, key: str, result: SimResult) -> None:
+        directory = os.path.dirname(self._path(key))
+        os.makedirs(directory, exist_ok=True)
+        payload = {"format": CACHE_FORMAT_VERSION, "key": key,
+                   "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> List[str]:
+        found = []
+        if not os.path.isdir(self._dir):
+            return found
+        for sub in sorted(os.listdir(self._dir)):
+            subdir = os.path.join(self._dir, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".json"):
+                    found.append(name[:-len(".json")])
+        return found
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+class Task:
+    """One sweep cell: run ``workload`` under ``config``."""
+
+    __slots__ = ("label", "config", "workload", "timeout_s")
+
+    def __init__(self, label: str, config: SystemConfig,
+                 workload: Workload,
+                 timeout_s: Optional[float] = None) -> None:
+        self.label = label
+        self.config = config
+        self.workload = workload
+        self.timeout_s = timeout_s
+
+
+class TaskFailure:
+    """An isolated task failure: the batch continues without it."""
+
+    __slots__ = ("label", "kind", "message")
+
+    def __init__(self, label: str, kind: str, message: str) -> None:
+        self.label = label
+        self.kind = kind          # "error" | "timeout"
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"TaskFailure({self.label!r}, {self.kind}: {self.message})"
+
+
+class ExecutorOutcome:
+    """Results and failures of one ``Executor.run_tasks`` batch."""
+
+    __slots__ = ("results", "failures", "stats")
+
+    def __init__(self, results: Dict[str, SimResult],
+                 failures: List[TaskFailure],
+                 stats: Dict[str, int]) -> None:
+        self.results = results
+        self.failures = failures
+        self.stats = stats
+
+    def result(self, label: str) -> SimResult:
+        for failure in self.failures:
+            if failure.label == label:
+                raise RuntimeError(
+                    f"task {label!r} failed ({failure.kind}): "
+                    f"{failure.message}")
+        return self.results[label]
+
+
+class _TaskTimeout(Exception):
+    pass
+
+
+def _alarm_handler(_signum, _frame):
+    raise _TaskTimeout()
+
+
+def _run_task(label: str, config: SystemConfig, workload: Workload,
+              timeout_s: Optional[float]) -> Tuple[str, str, object]:
+    """Worker entry point (also the serial path, for identical
+    semantics at ``jobs=1``).  Never raises: failures are reported as
+    ('error'|'timeout', message) so one bad cell cannot take down the
+    batch or the pool."""
+    # deferred import: repro.sim.runner imports this module
+    from repro.sim.runner import run_simulation
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(max(1, int(timeout_s)))
+    try:
+        result = run_simulation(config, workload)
+        return (label, "ok", result)
+    except _TaskTimeout:
+        return (label, "timeout", f"exceeded {timeout_s}s")
+    except Exception as err:  # noqa: BLE001 - isolation boundary
+        return (label, "error", f"{type(err).__name__}: {err}")
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+class Executor:
+    """Fans batches of sweep tasks over a process pool.
+
+    * deduplicates by ``cache_key`` — a batch naming the same
+      experiment twice simulates it once;
+    * consults/feeds an ``ExperimentCache`` (in-process memo + optional
+      persistent ``ResultStore``) before and after simulating;
+    * isolates failures: a raising or deadlocked worker yields a
+      ``TaskFailure``, never an exception out of ``run_tasks``;
+    * is deterministic: the returned mapping depends only on the tasks,
+      never on ``jobs`` or completion order.
+    """
+
+    def __init__(self, jobs: int = 1, timeout_s: Optional[float] = None,
+                 cache: Optional["ExperimentCache"] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.cache = cache
+
+    def run_tasks(self, tasks: Iterable[Task],
+                  cache: Optional["ExperimentCache"] = None,
+                  ) -> ExecutorOutcome:
+        tasks = list(tasks)
+        cache = cache if cache is not None else self.cache
+        stats = {"tasks": len(tasks), "cache_hits": 0, "simulated": 0,
+                 "deduplicated": 0, "failed": 0}
+        results: Dict[str, SimResult] = {}
+        failures: List[TaskFailure] = []
+        # resolve cache hits and deduplicate identical experiments
+        pending: Dict[str, Task] = {}       # key -> representative task
+        by_key: Dict[str, List[Task]] = {}  # key -> every task wanting it
+        for task in tasks:
+            key = cache_key(task.config, task.workload)
+            by_key.setdefault(key, []).append(task)
+            if key in pending:
+                stats["deduplicated"] += 1
+                continue
+            hit = cache.peek(task.config, task.workload) \
+                if cache is not None else None
+            if hit is not None:
+                stats["cache_hits"] += 1
+                for waiting in by_key[key]:
+                    results[waiting.label] = hit
+                continue
+            pending[key] = task
+        # simulate the misses
+        for key, outcome in self._execute(pending):
+            label, status, payload = outcome
+            if status == "ok":
+                stats["simulated"] += 1
+                result = payload
+                if cache is not None:
+                    task = pending[key]
+                    cache.insert(task.config, task.workload, result)
+                for waiting in by_key[key]:
+                    results[waiting.label] = result
+            else:
+                stats["failed"] += 1
+                for waiting in by_key[key]:
+                    failures.append(
+                        TaskFailure(waiting.label, status, payload))
+        return ExecutorOutcome(results, failures, stats)
+
+    def _execute(self, pending: Dict[str, Task]):
+        """Yield (key, worker outcome) for every pending task."""
+        if not pending:
+            return
+        def timeout_of(task: Task) -> Optional[float]:
+            return task.timeout_s if task.timeout_s is not None \
+                else self.timeout_s
+        if self.jobs == 1:
+            for key, task in pending.items():
+                yield key, _run_task(task.label, task.config,
+                                     task.workload, timeout_of(task))
+            return
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                key: pool.submit(_run_task, task.label, task.config,
+                                 task.workload, timeout_of(task))
+                for key, task in pending.items()}
+            for key, future in futures.items():
+                yield key, future.result()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 from repro.common.params import SystemConfig
 
@@ -46,6 +46,37 @@ class SimResult:
             "mcv_inval": self.total("squashes_mcv_inval"),
             "mcv_evict": self.total("squashes_mcv_evict"),
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict (see ``from_dict``); used by the
+        persistent experiment cache (``repro.sim.executor``)."""
+        return {
+            "workload_name": self.workload_name,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "core_stats": {str(k): v for k, v in self.core_stats.items()},
+            "mem_stats": self.mem_stats,
+            "network_stats": self.network_stats,
+            "pinning_stats": {str(k): v
+                              for k, v in self.pinning_stats.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Rebuild a result from ``to_dict`` output (JSON stringifies the
+        integer core-id keys; they are converted back here)."""
+        return cls(
+            workload_name=data["workload_name"],
+            config=SystemConfig.from_dict(data["config"]),
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            core_stats={int(k): v for k, v in data["core_stats"].items()},
+            mem_stats=data["mem_stats"],
+            network_stats=data["network_stats"],
+            pinning_stats={int(k): v
+                           for k, v in data["pinning_stats"].items()},
+        )
 
     def describe(self) -> str:
         pin = self.config.pinning.mode.value

@@ -3,11 +3,13 @@ process-wide memo so the benchmark harnesses can share baseline runs."""
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
 from repro.common.params import (COMPREHENSIVE, DefenseKind, PinningMode,
                                  SystemConfig, ThreatModel)
 from repro.isa.trace import Workload
+from repro.sim.executor import ResultStore, cache_key
 from repro.sim.results import SimResult
 from repro.sim.system import System
 
@@ -49,32 +51,80 @@ def run_simulation(config: SystemConfig, workload: Workload,
 
 
 class ExperimentCache:
-    """Memoizes runs by (workload factory key, config key).
+    """Memoizes runs by experiment *content*, optionally backed by a
+    persistent on-disk ``ResultStore``.
 
-    Workloads are deterministic functions of their profile + seed, and
-    configs are frozen dataclasses, so results are safely shareable across
-    benchmark files (e.g. Figure 9 reuses every Figure 7/8 run).
+    The in-process memo key is ``(workload.fingerprint, config)`` — the
+    actual trace content, never the workload's display name, so two
+    same-named workloads with different traces cannot alias (and configs
+    are frozen dataclass trees, hence hashable).  With a store attached,
+    misses fall through to disk before simulating, and fresh results are
+    written back — so results survive across processes and runs
+    (e.g. Figure 9 reuses every Figure 7/8 run, even from a previous
+    invocation).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[ResultStore] = None,
+                 cache_dir: Optional[str] = None) -> None:
+        if store is None and cache_dir:
+            store = ResultStore(cache_dir)
+        self.store = store
         self._results: Dict[Tuple, SimResult] = {}
+        self.memo_hits = 0
+        self.store_hits = 0
+        self.simulations = 0
+
+    def _memo_key(self, config: SystemConfig,
+                  workload: Workload) -> Tuple:
+        return (workload.fingerprint, config)
+
+    def peek(self, config: SystemConfig,
+             workload: Workload) -> Optional[SimResult]:
+        """Cached result if one exists (memo, then store); no simulation.
+        A store hit is promoted into the memo."""
+        memo_key = self._memo_key(config, workload)
+        result = self._results.get(memo_key)
+        if result is not None:
+            self.memo_hits += 1
+            return result
+        if self.store is not None:
+            result = self.store.get(cache_key(config, workload))
+            if result is not None:
+                self.store_hits += 1
+                self._results[memo_key] = result
+                return result
+        return None
+
+    def insert(self, config: SystemConfig, workload: Workload,
+               result: SimResult) -> None:
+        """Deposit an externally-computed result (executor workers)."""
+        self._results[self._memo_key(config, workload)] = result
+        if self.store is not None:
+            self.store.put(cache_key(config, workload), result)
 
     def run(self, config: SystemConfig, workload: Workload,
             key: Optional[str] = None) -> SimResult:
-        # SystemConfig is a frozen dataclass tree, hence hashable
-        cache_key = (key or workload.name, config)
-        result = self._results.get(cache_key)
+        """Result for (config, workload), simulating on a miss.
+
+        ``key`` is accepted for backward compatibility but no longer
+        participates in the cache identity (it used to alias same-named
+        workloads with different content).
+        """
+        result = self.peek(config, workload)
         if result is None:
             result = run_simulation(config, workload)
-            self._results[cache_key] = result
+            self.simulations += 1
+            self.insert(config, workload, result)
         return result
 
     def clear(self) -> None:
+        """Drop the in-process memo (the persistent store is kept)."""
         self._results.clear()
 
 
-#: Shared cache for the benchmark harnesses.
-GLOBAL_CACHE = ExperimentCache()
+#: Shared cache for the benchmark harnesses.  Set ``REPRO_CACHE_DIR`` to
+#: back it with a persistent on-disk store.
+GLOBAL_CACHE = ExperimentCache(cache_dir=os.environ.get("REPRO_CACHE_DIR"))
 
 
 def scheme_grid() -> Dict[str, Tuple[DefenseKind, ThreatModel, PinningMode]]:

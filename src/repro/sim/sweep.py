@@ -14,12 +14,13 @@ paper's studies in a few lines::
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
                                  ThreatModel)
 from repro.common.stats import geomean
 from repro.isa.trace import Workload
+from repro.sim.executor import Executor, Task
 from repro.sim.results import SimResult
 from repro.sim.runner import ExperimentCache
 
@@ -27,16 +28,35 @@ GridCell = Tuple[DefenseKind, ThreatModel, PinningMode]
 
 
 class Sweep:
-    """Runs configuration grids over a named set of workloads."""
+    """Runs configuration grids over a named set of workloads.
+
+    With an ``Executor`` attached, grid-shaped calls first *prefetch*
+    every uncached cell through the process pool, then assemble the
+    table from the (now warm) cache serially — so tables are
+    bit-identical with and without parallelism, and a failed worker
+    simply leaves its cell cold for the serial pass to re-raise.
+    """
 
     def __init__(self, base_config: SystemConfig,
                  workloads: Mapping[str, Workload],
-                 cache: Optional[ExperimentCache] = None) -> None:
+                 cache: Optional[ExperimentCache] = None,
+                 executor: Optional[Executor] = None) -> None:
         if not workloads:
             raise ValueError("sweep needs at least one workload")
         self.base_config = base_config
         self.workloads = dict(workloads)
         self.cache = cache or ExperimentCache()
+        self.executor = executor
+
+    def _prefetch(self, cells: List[Tuple[str, SystemConfig]]) -> None:
+        """Fan every uncached (label, config-on-workload) cell over the
+        executor, depositing results into the shared cache."""
+        if self.executor is None:
+            return
+        tasks = [Task(f"{name}:{label}", config, self.workloads[name])
+                 for name in self.workloads
+                 for label, config in cells]
+        self.executor.run_tasks(tasks, cache=self.cache)
 
     def run_one(self, config: SystemConfig, name: str) -> SimResult:
         return self.cache.run(config, self.workloads[name], key=name)
@@ -53,6 +73,13 @@ class Sweep:
 
     def grid(self, cells: Mapping[str, GridCell]) -> Dict[str, Dict[str, float]]:
         """Normalized CPI for every (workload x grid cell)."""
+        configs = [("unsafe/baseline",
+                    self.base_config.with_defense(DefenseKind.UNSAFE,
+                                                  ThreatModel.MCV))]
+        configs += [
+            (label, self.base_config.with_defense(defense, threat, pinning))
+            for label, (defense, threat, pinning) in cells.items()]
+        self._prefetch(configs)
         table: Dict[str, Dict[str, float]] = {}
         for name in self.workloads:
             row = {}
@@ -76,10 +103,18 @@ class Sweep:
         """Sweep Pinned Loads hardware parameters (CST sizes, W_d, CPT,
         TSO rule...).  ``variants`` maps a label to ``PinnedLoadsParams``
         field overrides; returns normalized CPIs per workload/variant."""
+        base = self.base_config.with_defense(defense, ThreatModel.MCV,
+                                             mode)
+        configs = [("unsafe/baseline",
+                    self.base_config.with_defense(DefenseKind.UNSAFE,
+                                                  ThreatModel.MCV))]
+        configs += [
+            (label, replace(base, pinning=replace(base.pinning,
+                                                  **overrides)))
+            for label, overrides in variants.items()]
+        self._prefetch(configs)
         results: Dict[str, Dict[str, float]] = {}
         for label, overrides in variants.items():
-            base = self.base_config.with_defense(defense, ThreatModel.MCV,
-                                                 mode)
             config = replace(base, pinning=replace(base.pinning,
                                                    **overrides))
             results[label] = {name: self.normalized(config, name)
@@ -88,6 +123,7 @@ class Sweep:
 
     def apply(self, transform: Callable[[SystemConfig], SystemConfig],
               ) -> "Sweep":
-        """A new sweep with a transformed base config, sharing the cache."""
+        """A new sweep with a transformed base config, sharing the cache
+        (and executor)."""
         return Sweep(transform(self.base_config), self.workloads,
-                     cache=self.cache)
+                     cache=self.cache, executor=self.executor)

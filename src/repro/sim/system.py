@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Set
 from repro.common.errors import ConfigError, DeadlockError
 from repro.common.events import EventQueue
 from repro.common.params import SystemConfig
-from repro.core.pipeline import Core
+from repro.core.pipeline import QUIET_FOREVER, Core, RetireProgress
 from repro.isa.trace import Workload
 from repro.mem.coherence import CoherentMemory
 
@@ -17,8 +17,13 @@ class BarrierManager:
 
     A barrier releases once every participating core has arrived; arrival
     happens when the barrier uop reaches the head of its core's ROB, so a
-    released barrier can never be squashed.
+    released barrier can never be squashed.  A released barrier's arrival
+    set is dropped immediately — only the (tiny) set of released ids is
+    retained for the rest of the run, so memory stays bounded by the
+    number of *distinct* barriers, not by arrivals.
     """
+
+    __slots__ = ("num_cores", "_arrived", "_released")
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
@@ -26,10 +31,13 @@ class BarrierManager:
         self._released: Set[int] = set()
 
     def arrive(self, barrier_id: int, core_id: int) -> None:
+        if barrier_id in self._released:
+            return
         arrived = self._arrived.setdefault(barrier_id, set())
         arrived.add(core_id)
         if len(arrived) >= self.num_cores:
             self._released.add(barrier_id)
+            del self._arrived[barrier_id]
 
     def released(self, barrier_id: int) -> bool:
         return barrier_id in self._released
@@ -49,9 +57,10 @@ class System:
         self.events = EventQueue()
         self.mem = CoherentMemory(config, self.events)
         self.barriers = BarrierManager(config.num_cores)
+        self.progress = RetireProgress()
         self.cores: List[Core] = [
             Core(core_id, config, trace, self.mem, self.events,
-                 self.barriers)
+                 self.barriers, progress=self.progress)
             for core_id, trace in enumerate(workload.traces)]
         self.cycles = 0
         self.sanitizer: Optional["Sanitizer"] = None
@@ -62,7 +71,93 @@ class System:
             self.sanitizer.attach()
 
     def run(self, max_cycles: int = 50_000_000) -> int:
-        """Run to completion of every trace; returns total cycles."""
+        """Run to completion of every trace; returns total cycles.
+
+        This is the hot loop of every experiment.  Two things keep the
+        per-cycle cost low without changing simulated behaviour:
+
+        * the deadlock scan is incremental — cores bump one shared
+          ``RetireProgress`` counter at retire, so detecting forward
+          progress is O(1) per cycle instead of an O(cores) stats walk;
+        * finished cores leave the tick list instead of being re-checked
+          every remaining cycle;
+        * when every live core reports (``Core.quiet_until``) that its
+          next ticks are provably no-ops — typically all cores stalled
+          on outstanding memory misses — the loop fast-forwards the
+          cycle counter to the next pending event instead of ticking
+          through the dead cycles one by one.
+
+        ``run_reference`` preserves the original per-cycle structure and
+        must produce bit-identical cycle counts (asserted by the tests;
+        timed against this loop by ``python -m repro bench``).
+        """
+        cycle = 0
+        last_progress_cycle = 0
+        last_retired = -1
+        deadlock_window = self.config.deadlock_cycles
+        events = self.events
+        progress = self.progress
+        # the sanitizer observes per-tick invariants; give it every tick
+        fast_forward = self.sanitizer is None
+        live = [core for core in self.cores if not core.done]
+        while live:
+            cycle += 1
+            events.run_until(cycle)
+            finished = False
+            for core in live:
+                core.tick(cycle)
+                if core.done_cycle is not None:
+                    finished = True
+            if finished:
+                live = [core for core in live if core.done_cycle is None]
+                if not live:
+                    break
+            retired = progress.count
+            if retired != last_retired:
+                last_retired = retired
+                last_progress_cycle = cycle
+            elif cycle - last_progress_cycle > deadlock_window:
+                detail = "; ".join(repr(core) for core in self.cores
+                                   if not core.done)
+                raise DeadlockError(cycle, detail)
+            if cycle >= max_cycles:
+                raise DeadlockError(cycle, "max_cycles exceeded")
+            if fast_forward:
+                bound = QUIET_FOREVER
+                for core in live:
+                    core_bound = core.quiet_until(cycle)
+                    if core_bound <= cycle + 1:
+                        bound = 0
+                        break
+                    if core_bound < bound:
+                        bound = core_bound
+                if bound > cycle + 1:
+                    # ticks strictly before `target` are no-ops; land on
+                    # the first cycle where anything can happen again —
+                    # an event delivery, a fetch resteer, the deadlock
+                    # check, or the max_cycles backstop
+                    target = bound
+                    next_event = events.next_time()
+                    if next_event is not None and next_event < target:
+                        target = next_event
+                    deadlock_at = last_progress_cycle + deadlock_window + 1
+                    if deadlock_at < target:
+                        target = deadlock_at
+                    if max_cycles < target:
+                        target = max_cycles
+                    if target > cycle + 1:
+                        cycle = target - 1
+        self.cycles = cycle
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
+        return cycle
+
+    def run_reference(self, max_cycles: int = 50_000_000) -> int:
+        """The unoptimized run loop: full per-cycle core scan, O(cores)
+        retired summation, and unguarded per-stage calls via
+        ``Core.tick_reference``.  Kept as the validation baseline for the
+        optimized ``run`` — same simulated behaviour, measurably slower
+        (``python -m repro bench`` reports the ratio)."""
         cycle = 0
         last_progress_cycle = 0
         last_retired = -1
@@ -75,7 +170,7 @@ class System:
             all_done = True
             for core in cores:
                 if not core.done:
-                    core.tick(cycle)
+                    core.tick_reference(cycle)
                     if not core.done:
                         all_done = False
             if all_done:

@@ -19,6 +19,15 @@ type-hint defect family that seeded this PR:
 * ``implicit-optional``— a parameter or annotated assignment typed as a
   plain ``int``/``str``/... with a ``None`` default (``writer: int =
   None``); the annotation must say ``Optional[...]``.
+* ``hot-path-slots``   — a class defined under the per-cycle packages
+  (``core/``, ``mem/``) without a ``__slots__`` declaration.  Those
+  objects are allocated/accessed millions of times per run; a dict per
+  instance is measurable (see ``docs/performance.md``).  Enum,
+  exception, Protocol-style, and decorated classes are exempt.
+
+A finding is waived by a trailing ``# repro: allow-<rule>`` comment on
+the offending line — e.g. the benchmark driver's timing reads carry
+``# repro: allow-wall-clock``.
 
 Known-set inference is deliberately shallow and name-based (a lint, not a
 type checker): set displays/constructors/comprehensions, locals assigned
@@ -56,6 +65,19 @@ ORDERING_WRAPPERS = {"sorted", "min", "max", "sum", "len", "any", "all",
 
 SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
                   "AbstractSet"}
+
+#: Packages whose classes live on the per-cycle path: every simulated
+#: cycle allocates/touches their instances, so they must declare
+#: ``__slots__`` (rule ``hot-path-slots``).
+HOT_PATH_PACKAGES = {"core", "mem"}
+
+#: Base classes that exempt a class from ``hot-path-slots``: enums and
+#: exceptions are not per-cycle objects, and Protocol/ABC-style bases
+#: exist for typing, not allocation.
+SLOTS_EXEMPT_BASES = {
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "Exception",
+    "BaseException", "Protocol", "NamedTuple", "TypedDict", "ABC",
+}
 
 
 @dataclass(frozen=True)
@@ -133,11 +155,17 @@ class _SetRegistry:
                 self.set_returning.add(node.name)
 
 
+def _is_hot_path(path: str) -> bool:
+    """Is ``path`` inside a package subject to ``hot-path-slots``?"""
+    return bool(HOT_PATH_PACKAGES.intersection(Path(path).parts))
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, registry: _SetRegistry) -> None:
         self.path = path
         self.registry = registry
         self.findings: List[Finding] = []
+        self._hot_path = _is_hot_path(path)
         #: per-function stack of local names inferred to hold sets
         self._set_locals: List[Set[str]] = [set()]
 
@@ -184,6 +212,43 @@ class _Linter(ast.NodeVisitor):
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    # -- hot-path __slots__ --------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._hot_path and not node.decorator_list \
+                and not self._slots_exempt(node) \
+                and not self._declares_slots(node):
+            self._emit(
+                node, "hot-path-slots",
+                f"class {node.name} is on the per-cycle path "
+                f"({'/'.join(sorted(HOT_PATH_PACKAGES))} packages) but "
+                f"declares no __slots__")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _slots_exempt(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = _dotted(base)
+            short = name.split(".")[-1] if name else ""
+            if short in SLOTS_EXEMPT_BASES or short.endswith("Error"):
+                return True
+        return node.name.endswith("Error")
+
+    @staticmethod
+    def _declares_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "__slots__":
+                    return True
+        return False
 
     # -- implicit Optional ---------------------------------------------
 
@@ -279,6 +344,14 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _waived(finding: Finding, lines: Sequence[str]) -> bool:
+    """A ``# repro: allow-<rule>`` comment on the finding's line waives
+    it (narrowly: only that rule, only that line)."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    return f"# repro: allow-{finding.rule}" in lines[finding.line - 1]
+
+
 def lint_source(source: str, path: str = "<string>",
                 registry: Optional[_SetRegistry] = None) -> List[Finding]:
     """Lint one module's source text."""
@@ -288,7 +361,9 @@ def lint_source(source: str, path: str = "<string>",
         registry.scan(tree)
     linter = _Linter(path, registry)
     linter.visit(tree)
-    return linter.findings
+    lines = source.splitlines()
+    return [finding for finding in linter.findings
+            if not _waived(finding, lines)]
 
 
 def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:

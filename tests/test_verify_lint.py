@@ -132,6 +132,73 @@ class TestImplicitOptional:
         assert rules_of(findings) == ["implicit-optional"]
 
 
+class TestHotPathSlots:
+    HOT = "src/repro/core/pipeline.py"
+    COLD = "src/repro/analysis/tables.py"
+
+    def test_slotless_class_on_hot_path_flagged(self):
+        findings = lint_source("class Entry:\n    pass\n", path=self.HOT)
+        assert rules_of(findings) == ["hot-path-slots"]
+        assert "Entry" in findings[0].message
+
+    def test_mem_package_is_hot(self):
+        findings = lint_source("class MSHR:\n    pass\n",
+                               path="src/repro/mem/cache.py")
+        assert rules_of(findings) == ["hot-path-slots"]
+
+    def test_slotted_class_ok(self):
+        source = "class Entry:\n    __slots__ = ('a', 'b')\n"
+        assert lint_source(source, path=self.HOT) == []
+
+    def test_annotated_slots_ok(self):
+        source = ("from typing import Tuple\n"
+                  "class Entry:\n"
+                  "    __slots__: Tuple[str, ...] = ('a',)\n")
+        assert lint_source(source, path=self.HOT) == []
+
+    def test_enum_and_error_classes_exempt(self):
+        source = ("import enum\n"
+                  "class Kind(enum.Enum):\n    A = 1\n"
+                  "class PipelineError(Exception):\n    pass\n")
+        assert lint_source(source, path=self.HOT) == []
+
+    def test_decorated_class_exempt(self):
+        # dataclasses and friends manage their own layout
+        source = ("from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class Entry:\n    a: int = 0\n")
+        assert lint_source(source, path=self.HOT) == []
+
+    def test_cold_path_not_flagged(self):
+        assert lint_source("class Table:\n    pass\n",
+                           path=self.COLD) == []
+
+
+class TestWaivers:
+    def test_waiver_suppresses_rule_on_its_line(self):
+        source = ("import time\n"
+                  "t = time.perf_counter()  # repro: allow-wall-clock\n")
+        assert lint_source(source) == []
+
+    def test_waiver_is_rule_specific(self):
+        source = ("import time\n"
+                  "t = time.perf_counter()  # repro: allow-global-random\n")
+        assert rules_of(lint_source(source)) == ["wall-clock"]
+
+    def test_waiver_is_line_specific(self):
+        source = ("import time\n"
+                  "a = time.time()  # repro: allow-wall-clock\n"
+                  "b = time.time()\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["wall-clock"]
+        assert findings[0].line == 3
+
+    def test_hot_path_slots_waivable(self):
+        source = ("class Scratch:  # repro: allow-hot-path-slots\n"
+                  "    pass\n")
+        assert lint_source(source, path="src/repro/core/x.py") == []
+
+
 class TestOnTheRepository:
     def test_repro_package_is_clean(self):
         package = Path(__file__).resolve().parent.parent / "src" / "repro"
