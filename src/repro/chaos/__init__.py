@@ -1,0 +1,15 @@
+"""Deterministic fault injection (``repro chaos``).
+
+Chaos runs perturb the *timing* of the simulated machine — message
+jitter, directory NACKs, forced evictions of unpinned lines, write-buffer
+backpressure — from one seeded RNG, then assert that the architectural
+outcome is unchanged and the invariant sanitizer stays silent.  See
+``docs/resilience.md``.
+"""
+
+from repro.chaos.campaign import (architectural_fingerprint, format_report,
+                                  run_campaign)
+from repro.chaos.engine import ChaosEngine
+
+__all__ = ["ChaosEngine", "architectural_fingerprint", "format_report",
+           "run_campaign"]

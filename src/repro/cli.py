@@ -11,6 +11,8 @@ Commands:
   ``BENCH_executor.json`` (see ``docs/performance.md``)
 * ``verify``     — the verification passes (``model``, ``trace``,
   ``lint``); see ``docs/verification.md``
+* ``chaos``      — the seeded fault-injection campaign (N seeds per
+  cell must be architecturally identical); see ``docs/resilience.md``
 """
 
 from __future__ import annotations
@@ -249,6 +251,31 @@ def _cmd_verify_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos import format_report, run_campaign
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not workloads or not schemes:
+        raise SystemExit("repro chaos: need at least one workload and "
+                         "one scheme")
+    try:
+        report = run_campaign(
+            workloads, schemes, seeds=args.seeds,
+            instructions=args.instructions, threads=args.threads,
+            self_test=not args.no_self_test,
+            checkpoint_check=not args.no_checkpoint_check)
+    except ValueError as error:
+        raise SystemExit(f"repro chaos: {error}")
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report        : {args.out}")
+    return 0 if report["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -352,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files/directories (default: the installed "
                         "repro package)")
     lint_p.set_defaults(func=_cmd_verify_lint)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign (must be "
+        "architecturally invisible)")
+    chaos_p.add_argument("--seeds", type=int, default=5,
+                         help="chaos seeds per (workload, scheme) cell")
+    chaos_p.add_argument("--workloads", default="mcf_r,radix",
+                         help="comma-separated workload names")
+    chaos_p.add_argument("--schemes", default="unsafe,fence-lp,fence-ep",
+                         help="comma-separated schemes (unsafe or "
+                         "scheme_grid cells)")
+    chaos_p.add_argument("--instructions", type=int, default=3000,
+                         help="instructions per thread (default 3000)")
+    chaos_p.add_argument("--threads", type=int, default=4,
+                         help="threads for parallel workloads")
+    chaos_p.add_argument("--out", default="",
+                         help="write the JSON report here")
+    chaos_p.add_argument("--no-self-test", action="store_true",
+                         help="skip the evict-pinned mutant self-test")
+    chaos_p.add_argument("--no-checkpoint-check", action="store_true",
+                         help="skip the checkpoint/resume equivalence "
+                         "check")
+    chaos_p.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -38,12 +38,24 @@ class InvariantViolation(SimulationError):
         super().__init__(message)
 
 
-class DeadlockError(SimulationError):
-    """Forward progress stopped: no core retired an instruction for too long."""
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be written, read, or applied —
+    unsupported system state (e.g. an attached sanitizer), a format
+    mismatch, or a corrupt/truncated checkpoint file."""
 
-    def __init__(self, cycle, detail=""):
+
+class DeadlockError(SimulationError):
+    """Forward progress stopped: no core retired an instruction for too long.
+
+    ``dump`` optionally carries the structured diagnostic state of the
+    stuck system (``System.diagnostic_dump``): per-core ROB head, oldest
+    load, pending events, and pin/CPT occupancy.
+    """
+
+    def __init__(self, cycle, detail="", dump=None):
         self.cycle = cycle
         self.detail = detail
+        self.dump = dump
         message = f"no forward progress by cycle {cycle}"
         if detail:
             message = f"{message}: {detail}"

@@ -14,18 +14,23 @@ avoids one closure allocation per scheduled event (see
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable
+from typing import Callable, List, Tuple
 
 
 class EventQueue:
-    """Time-ordered callback queue with stable FIFO ordering for ties."""
+    """Time-ordered callback queue with stable FIFO ordering for ties.
+
+    The tie-breaking sequence number is a plain integer (not an
+    ``itertools.count``) so a mid-run queue — callbacks, bound arguments,
+    and the counter itself — pickles into a simulation checkpoint
+    (``repro.sim.checkpoint``) and resumes with identical ordering.
+    """
 
     __slots__ = ("_heap", "_seq", "now")
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._seq = itertools.count()
+        self._seq = 0
         self.now = 0
 
     def schedule(self, when: int, callback: Callable[..., None],
@@ -33,7 +38,9 @@ class EventQueue:
         """Run ``callback(*args)`` at cycle ``when`` (not in the past)."""
         if when < self.now:
             raise ValueError(f"cannot schedule at {when}, now is {self.now}")
-        heapq.heappush(self._heap, (when, next(self._seq), callback, args))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, callback, args))
 
     def schedule_after(self, delay: int, callback: Callable[..., None],
                        *args) -> None:
@@ -58,3 +65,14 @@ class EventQueue:
     def next_time(self):
         """Cycle of the earliest pending event, or ``None`` if empty."""
         return self._heap[0][0] if self._heap else None
+
+    def pending_summary(self, limit: int = 16) -> List[Tuple[int, str]]:
+        """The earliest pending events as ``(cycle, callback name)`` pairs
+        — diagnostic output for deadlock dumps, not simulation state."""
+        entries = heapq.nsmallest(limit, self._heap)
+        summary = []
+        for when, _, callback, _args in entries:
+            target = getattr(callback, "func", callback)   # unwrap partials
+            name = getattr(target, "__qualname__", None) or repr(target)
+            summary.append((when, name))
+        return summary

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
 
@@ -155,6 +155,82 @@ class PinnedLoadsParams:
                 f"pin_record must be 'lq' or 'l1tag', not {self.pin_record!r}")
 
 
+#: Chaos knobs whose mutation deliberately breaks a protocol invariant so
+#: the campaign can prove it would catch a real bug (``repro chaos``).
+CHAOS_MUTATIONS = ("evict-pinned",)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded, deterministic fault injection for the memory system.
+
+    Attached as ``SystemConfig.chaos``, the chaos engine
+    (``repro.chaos.engine``) perturbs *timing* — never architectural
+    behaviour — so any run with any seed must retire the same
+    instruction stream and keep every pin-safety invariant.  All
+    randomness is drawn from one ``random.Random(seed)``; a run is a
+    pure function of (config, workload) exactly as without chaos.
+
+    * ``msg_jitter`` / ``msg_jitter_prob`` — extra per-message network
+      latency of 1..msg_jitter cycles with the given probability, which
+      also reorders same-cycle protocol messages (bounded reordering).
+    * ``nack_prob`` — the directory NACKs an incoming read/write with
+      this probability; the requestor retries after an exponential
+      backoff of ``nack_backoff * 2^attempt`` capped at
+      ``nack_backoff_cap``, and is always admitted after ``max_nacks``
+      consecutive NACKs (no livelock).
+    * ``evict_interval`` — every N cycles, force-evict one random
+      resident *unpinned* line (alternating L1 victim / LLC
+      back-invalidation paths, exactly the paths Pinned Loads must deny
+      for pinned lines).
+    * ``wb_spike_interval`` / ``wb_spike_duration`` — periodically make
+      one core's write buffer report itself full, stalling store retire
+      and shrinking the pinning precondition window (§5.1.2).
+    * ``mutate`` — campaign self-test: "evict-pinned" lets the forced
+      eviction target pinned lines, which a correct sanitizer/campaign
+      MUST flag.
+    * ``crash_at_cycle`` / ``stall_at_cycle`` — executor fault
+      injection (tests): SIGKILL the worker process / sleep
+      ``stall_seconds`` of wall-clock when the simulated clock reaches
+      the cycle, on attempts below ``crash_attempts``/``stall_attempts``
+      only, and only inside pool worker processes.
+    """
+
+    seed: int = 0
+    msg_jitter: int = 3
+    msg_jitter_prob: float = 0.25
+    nack_prob: float = 0.05
+    nack_backoff: int = 8
+    nack_backoff_cap: int = 256
+    max_nacks: int = 6
+    evict_interval: int = 200
+    wb_spike_interval: int = 0
+    wb_spike_duration: int = 50
+    mutate: str = ""
+    crash_at_cycle: Optional[int] = None
+    crash_attempts: int = 1
+    stall_at_cycle: Optional[int] = None
+    stall_seconds: float = 0.0
+    stall_attempts: int = 1
+
+    def validate(self) -> None:
+        for name in ("msg_jitter_prob", "nack_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], not {value}")
+        for name in ("msg_jitter", "evict_interval", "wb_spike_interval",
+                     "wb_spike_duration", "stall_seconds"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        for name in ("nack_backoff", "nack_backoff_cap", "max_nacks"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.mutate and self.mutate not in CHAOS_MUTATIONS:
+            raise ConfigError(
+                f"unknown chaos mutation {self.mutate!r}; "
+                f"choose from {CHAOS_MUTATIONS}")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of one simulated machine."""
@@ -180,6 +256,11 @@ class SystemConfig:
     #: raises ``InvariantViolation`` on any broken invariant.  Costs
     #: simulation speed; must stay False for performance measurements.
     sanitize: bool = False
+    #: Opt-in deterministic fault injection (``repro.chaos``).  ``None``
+    #: leaves every hot path untouched; a ``ChaosConfig`` perturbs
+    #: timing (jitter, NACKs, forced evictions, write-buffer spikes)
+    #: without changing architectural outcomes.
+    chaos: Optional[ChaosConfig] = None
 
     @property
     def num_slices(self) -> int:
@@ -194,6 +275,8 @@ class SystemConfig:
         self.l1d.validate()
         self.llc_slice.validate()
         self.pinning.validate()
+        if self.chaos is not None:
+            self.chaos.validate()
         if (self.pinning.mode is not PinningMode.NONE
                 and self.threat_model is not COMPREHENSIVE):
             raise ConfigError(
@@ -235,4 +318,6 @@ class SystemConfig:
         data["pinning"] = PinnedLoadsParams(**pinning)
         data["defense"] = DefenseKind(data["defense"])
         data["threat_model"] = ThreatModel[data["threat_model"]]
+        if data.get("chaos") is not None:
+            data["chaos"] = ChaosConfig(**data["chaos"])
         return cls(**data)

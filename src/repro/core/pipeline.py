@@ -12,7 +12,8 @@ the home of the Cannot-Pin Table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from functools import partial
+from typing import Any, Dict, List, Optional
 
 from repro.common.events import EventQueue
 from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
@@ -64,7 +65,7 @@ class Core(CorePort):
         "_lp_parked", "_waiters", "_data_waiters", "_resolved_mispredicts",
         "_wb_draining", "retired_count", "_progress", "_trace_len",
         "_vp_active", "_rob_entries", "_wb_entries", "_width",
-        "_rob_capacity", "__dict__",
+        "_rob_capacity", "retire_sig", "__dict__",
     )
 
     def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
@@ -102,6 +103,10 @@ class Core(CorePort):
         self._resolved_mispredicts: set = set()
         self._wb_draining = False
         self.retired_count = 0
+        # order-sensitive FNV-style signature of the retired uop indices:
+        # the committed stream must be invariant under any injected-fault
+        # timing (asserted by the chaos campaign across seeds)
+        self.retire_sig = 0xcbf29ce484222325
         self._progress = progress if progress is not None \
             else RetireProgress()
         # hot-loop hoists: immutable facts and stable containers read
@@ -186,6 +191,7 @@ class Core(CorePort):
                 and self._cursor >= self._trace_len):
             self.done_cycle = cycle
             self.stats.set("done_cycle", cycle)
+            self.stats.set("retire_sig", self.retire_sig)
 
     def quiet_until(self, cycle: int) -> int:
         """Exclusive upper bound on cycles whose ticks are provably
@@ -252,6 +258,7 @@ class Core(CorePort):
                 and self.write_buffer.empty):
             self.done_cycle = cycle
             self.stats.set("done_cycle", cycle)
+            self.stats.set("retire_sig", self.retire_sig)
 
     # ------------------------------------------------------------------
     # Retire
@@ -311,6 +318,8 @@ class Core(CorePort):
         self._retired_upto = head.index + 1
         self.retired_count += 1
         self._progress.count += 1
+        self.retire_sig = ((self.retire_sig ^ (head.index + 1))
+                           * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
         self.stats.bump("retired")
 
     # ------------------------------------------------------------------
@@ -522,8 +531,10 @@ class Core(CorePort):
             return
         entry.outstanding = True
         self.stats.bump("loads_issued")
+        # callbacks are partials over bound methods, never lambdas: a
+        # mid-flight fill must survive a checkpoint pickle round-trip
         self.mem.load(self.core_id, entry.line,
-                      lambda _cycle, e=entry: self._on_load_data(e))
+                      partial(self._on_load_data, entry))
 
     def _issue_load_invisible(self, entry: ROBEntry) -> None:
         """Invisible-speculation issue: the load gets its data without any
@@ -545,9 +556,10 @@ class Core(CorePort):
         self.stats.bump("loads_issued_invisible")
         self.mem.load_invisible(
             self.core_id, entry.line,
-            lambda _cycle, e=entry: self._on_invisible_load_data(e))
+            partial(self._on_invisible_load_data, entry))
 
-    def _on_invisible_load_data(self, entry: ROBEntry) -> None:
+    def _on_invisible_load_data(self, entry: ROBEntry,
+                                _cycle: int = 0) -> None:
         if entry.squashed:
             return
         entry.outstanding = False
@@ -570,9 +582,9 @@ class Core(CorePort):
             return   # the invisible fetch itself is still in flight
         self.stats.bump("validations_issued")
         self.mem.load(self.core_id, entry.line,
-                      lambda _cycle, e=entry: self._on_validation_done(e))
+                      partial(self._on_validation_done, entry))
 
-    def _on_validation_done(self, entry: ROBEntry) -> None:
+    def _on_validation_done(self, entry: ROBEntry, _cycle: int = 0) -> None:
         if entry.squashed:
             return
         entry.validated = True
@@ -586,7 +598,7 @@ class Core(CorePort):
         self.stats.bump("lp_authorized_issues")
         self._issue_load(entry)
 
-    def _on_load_data(self, entry: ROBEntry) -> None:
+    def _on_load_data(self, entry: ROBEntry, _cycle: int = 0) -> None:
         if entry.squashed:
             return
         entry.outstanding = False
@@ -623,7 +635,7 @@ class Core(CorePort):
                 entry.outstanding = True
                 self.stats.bump("lp_parked_refetches")
                 self.mem.load(self.core_id, entry.line,
-                              lambda _cycle, e=entry: self._on_load_data(e))
+                              partial(self._on_load_data, entry))
                 continue
             if self.controller.lp_data_arrived(entry):
                 entry.parked = False
@@ -639,7 +651,10 @@ class Core(CorePort):
         entry.issued = True
         self.stats.bump("atomics_issued")
         self.mem.store(self.core_id, entry.line,
-                       lambda _cycle, e=entry: self._complete(e))
+                       partial(self._on_atomic_performed, entry))
+
+    def _on_atomic_performed(self, entry: ROBEntry, _cycle: int = 0) -> None:
+        self._complete(entry)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -779,6 +794,48 @@ class Core(CorePort):
     @property
     def retired(self) -> int:
         return self.retired_count
+
+    def debug_state(self) -> Dict[str, Any]:
+        """Structured snapshot of the stall-relevant core state, used by
+        ``System.diagnostic_dump`` when the deadlock detector fires."""
+
+        def entry_state(entry: Optional[ROBEntry]) -> Optional[Dict[str, Any]]:
+            if entry is None:
+                return None
+            return {
+                "index": entry.index,
+                "opclass": entry.uop.opclass.value,
+                "line": entry.line,
+                "issued": entry.issued,
+                "complete": entry.complete,
+                "addr_ready": entry.addr_ready,
+                "outstanding": entry.outstanding,
+                "performed": entry.performed,
+                "pinned": entry.pinned,
+                "mcv_safe": entry.mcv_safe,
+                "parked": entry.parked,
+                "vp_reached": entry.vp_cycle is not None,
+            }
+
+        return {
+            "core": self.core_id,
+            "done": self.done,
+            "retired": self.retired_count,
+            "cursor": self._cursor,
+            "trace_len": self._trace_len,
+            "fetch_resume": self._fetch_resume,
+            "rob_occupancy": len(self.rob),
+            "rob_head": entry_state(self.rob.head()),
+            "oldest_load": entry_state(self.lq.oldest()),
+            "ready": len(self._ready),
+            "waiting_loads": len(self._waiting_loads),
+            "lp_parked": len(self._lp_parked),
+            "write_buffer": len(self.write_buffer),
+            "wb_draining": self._wb_draining,
+            "wb_backpressure": self.write_buffer.backpressure,
+            "pinned_total": self.controller.pinned_total,
+            "cpt_occupancy": len(self.controller.cpt),
+        }
 
     def __repr__(self) -> str:
         return (f"Core(id={self.core_id}, retired={self.retired}, "

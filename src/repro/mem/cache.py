@@ -85,6 +85,24 @@ class CacheArray:
     def resident_lines(self, set_index: int):
         return self._sets[set_index].lines()
 
+    def sample_resident_line(self, rng,
+                             evictable: Optional[Callable[[int], bool]] = None,
+                             ) -> Optional[int]:
+        """A uniformly random resident line passing ``evictable``, or
+        ``None`` if nothing qualifies.  Used by the chaos engine
+        (``repro.chaos``) to pick forced-eviction victims; candidates are
+        sorted so the draw depends only on ``rng``'s seed, never on dict
+        iteration order."""
+        start = rng.randrange(self.num_sets)
+        for offset in range(self.num_sets):
+            cache_set = self._sets[(start + offset) & self._mask]
+            lines = sorted(cache_set.lines())
+            if evictable is not None:
+                lines = [line for line in lines if evictable(line)]
+            if lines:
+                return rng.choice(lines)
+        return None
+
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 

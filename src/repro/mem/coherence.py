@@ -81,7 +81,7 @@ class CoherentMemory:
     __slots__ = (
         "config", "events", "network", "stats", "num_slices", "l1s",
         "mshrs", "slices", "ports", "_busy_lines", "_write_txns",
-        "_retry_backoff", "__dict__",
+        "_retry_backoff", "chaos", "__dict__",
     )
 
     def __init__(self, config: SystemConfig, events: EventQueue) -> None:
@@ -89,6 +89,9 @@ class CoherentMemory:
         self.events = events
         self.network = MeshNetwork(config.network)
         self.stats = StatSet()
+        #: optional fault-injection hook (``repro.chaos.ChaosEngine``);
+        #: ``None`` in normal runs
+        self.chaos = None
         self.num_slices = config.num_slices
         self.l1s: List[CacheArray] = [CacheArray(config.l1d)
                                       for _ in range(config.num_cores)]
@@ -269,6 +272,13 @@ class CoherentMemory:
         self.events.schedule(done, on_complete, done)
 
     def _dir_read(self, core_id: int, line: int, slice_id: int) -> None:
+        if self.chaos is not None:
+            nack = self.chaos.nack_delay("read", core_id, line)
+            if nack:
+                self.stats.bump("chaos_nacks")
+                self.events.schedule_after(
+                    nack, self._dir_read, core_id, line, slice_id)
+                return
         if line in self._busy_lines:
             self.events.schedule_after(
                 self._retry_backoff, self._dir_read, core_id, line, slice_id)
@@ -402,6 +412,14 @@ class CoherentMemory:
 
     def _dir_write(self, core_id: int, line: int, slice_id: int,
                    on_complete: Callback) -> None:
+        if self.chaos is not None:
+            nack = self.chaos.nack_delay("write", core_id, line)
+            if nack:
+                self.stats.bump("chaos_nacks")
+                self.events.schedule_after(
+                    nack, self._dir_write,
+                    core_id, line, slice_id, on_complete)
+                return
         if line in self._busy_lines:
             self.events.schedule_after(
                 self._retry_backoff, self._dir_write,

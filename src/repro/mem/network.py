@@ -17,11 +17,14 @@ from repro.common.stats import StatSet
 class MeshNetwork:
     """Latency/traffic model of the on-chip network."""
 
-    __slots__ = ("params", "stats")
+    __slots__ = ("params", "stats", "chaos")
 
     def __init__(self, params: NetworkParams) -> None:
         self.params = params
         self.stats = StatSet()
+        #: optional fault-injection hook (``repro.chaos.ChaosEngine``);
+        #: ``None`` in normal runs so ``send`` stays one attribute test
+        self.chaos = None
 
     def _coords(self, node: int):
         return node % self.params.mesh_cols, node // self.params.mesh_cols
@@ -40,6 +43,12 @@ class MeshNetwork:
         self.stats.bump("messages")
         self.stats.bump(f"msg_{kind}")
         lat = self.latency(src, dst)
+        if self.chaos is not None:
+            jitter = self.chaos.message_jitter(src, dst, kind)
+            if jitter:
+                lat += jitter
+                self.stats.bump("chaos_jitter_msgs")
+                self.stats.bump("chaos_jitter_cycles", jitter)
         self.stats.bump("hop_cycles", lat)
         return lat
 

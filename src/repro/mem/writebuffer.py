@@ -22,9 +22,15 @@ class WriteBufferEntry:
 
 
 class WriteBuffer:
-    """A bounded FIFO of retired-but-unperformed stores (line granularity)."""
+    """A bounded FIFO of retired-but-unperformed stores (line granularity).
 
-    __slots__ = ("capacity", "_entries", "_line_counts")
+    ``backpressure`` is a chaos-injection hook (``repro.chaos``): while
+    set, the buffer *reports* itself full — store retire stalls and the
+    pinning precondition window shrinks — without changing its actual
+    occupancy or the drain path, so a bounded spike only perturbs timing.
+    """
+
+    __slots__ = ("capacity", "_entries", "_line_counts", "backpressure")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -34,21 +40,26 @@ class WriteBuffer:
         #: refcount per line, so ``contains_line`` (on the load-issue
         #: path, called several times per cycle) is one dict probe
         self._line_counts: Dict[int, int] = {}
+        self.backpressure = False
 
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return self.backpressure or len(self._entries) >= self.capacity
 
     @property
     def free(self) -> int:
+        if self.backpressure:
+            return 0
         return self.capacity - len(self._entries)
 
     def push(self, line: int) -> WriteBufferEntry:
-        """Deposit a retiring store.  Caller must check ``full`` first."""
-        if self.full:
+        """Deposit a retiring store.  Caller must check ``full`` first.
+        Only real occupancy overflows; chaos backpressure gates retire
+        upstream but never corrupts the buffer itself."""
+        if len(self._entries) >= self.capacity:
             raise OverflowError("write buffer full")
         entry = WriteBufferEntry(line)
         self._entries.append(entry)

@@ -1,0 +1,119 @@
+"""Checkpoint/resume for whole simulations.
+
+A checkpoint is the pickled ``System`` object graph — cores (ROB, LSQ,
+write buffers, pinning controller), caches, directory, network, pending
+events, and, for chaos runs, the fault injector's RNG and backoff state.
+Everything the next cycle depends on lives in that graph, so a resumed
+run is *bit-identical* to an uninterrupted one (asserted per scheme by
+``tests/test_checkpoint.py``).
+
+Two deliberate restrictions:
+
+* A sanitized system (``config.sanitize``) cannot be checkpointed: the
+  sanitizer shadows instance methods with closures and keys state by
+  object identity, neither of which survives a pickle round trip.
+  ``save_checkpoint`` raises ``CheckpointError`` instead of writing a
+  checkpoint that would silently drop invariant checking on resume.
+* Checkpoint files carry ``CHECKPOINT_FORMAT_VERSION``; a mismatch (or a
+  truncated/corrupt file) raises ``CheckpointError`` rather than
+  resuming from state the current simulator no longer understands.
+
+Writes are atomic (temp file + ``os.replace``): a worker killed
+mid-write leaves the previous checkpoint intact, which is exactly the
+property the self-healing executor (``repro.sim.executor``) relies on to
+resume SIGKILLed or timed-out tasks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+from repro.common.errors import CheckpointError
+
+#: Bump whenever simulator state layout changes incompatibly; resuming
+#: from an old checkpoint then fails loudly instead of corrupting a run.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def snapshot_system(system) -> bytes:
+    """In-memory checkpoint: the serialized system, ready to restore."""
+    if system.sanitizer is not None:
+        raise CheckpointError(
+            "cannot checkpoint a sanitized system: the sanitizer wraps "
+            "instance methods with closures that do not survive "
+            "pickling; run with sanitize=False to checkpoint")
+    payload = {"format": CHECKPOINT_FORMAT_VERSION,
+               "cycle": system.cycles, "system": system}
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as err:
+        raise CheckpointError(
+            f"system state is not serializable: "
+            f"{type(err).__name__}: {err}") from err
+
+
+def restore_system(blob: bytes):
+    """Rebuild a ``System`` from ``snapshot_system`` output."""
+    try:
+        payload = pickle.loads(blob)
+    except Exception as err:
+        raise CheckpointError(
+            f"corrupt checkpoint: {type(err).__name__}: {err}") from err
+    if not isinstance(payload, dict) \
+            or payload.get("format") != CHECKPOINT_FORMAT_VERSION:
+        found = payload.get("format") if isinstance(payload, dict) \
+            else type(payload).__name__
+        raise CheckpointError(
+            f"checkpoint format {found!r} does not match "
+            f"{CHECKPOINT_FORMAT_VERSION}")
+    return payload["system"]
+
+
+def save_checkpoint(system, path: str) -> None:
+    """Atomically write ``system``'s checkpoint to ``path``."""
+    blob = snapshot_system(system)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str):
+    """Load a checkpoint written by ``save_checkpoint``."""
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as err:
+        raise CheckpointError(f"cannot read checkpoint {path}: "
+                              f"{err}") from err
+    return restore_system(blob)
+
+
+def run_with_checkpoints(system, path: str, interval: int,
+                         max_cycles: int = 50_000_000) -> int:
+    """Run ``system`` to completion, refreshing a rolling checkpoint at
+    ``path`` every ``interval`` simulated cycles; returns total cycles.
+
+    The checkpoint always reflects a clean cycle boundary, so a process
+    killed at any wall-clock moment can resume from ``path`` and finish
+    with bit-identical statistics.
+    """
+    if interval < 1:
+        raise CheckpointError(f"checkpoint interval must be >= 1, "
+                              f"not {interval}")
+    while not system.done:
+        system.run(max_cycles, stop_cycle=system.cycles + interval)
+        if not system.done:
+            save_checkpoint(system, path)
+    return system.cycles

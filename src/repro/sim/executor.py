@@ -7,33 +7,68 @@ independent, deterministic simulation.  This module provides
   sha256 over the canonical config dict, the workload *content*
   fingerprint (not its name), and the cache format version;
 * ``ResultStore`` — an on-disk, content-addressed store of ``SimResult``
-  JSON documents, shared between processes and across runs;
-* ``Executor`` — a process-pool engine that fans a batch of ``Task``s
-  over N workers with per-task timeouts and failure isolation.
+  JSON documents, shared between processes and across runs, with a
+  per-entry integrity checksum (corrupt entries are quarantined, not
+  silently re-simulated forever);
+* ``Executor`` — a *self-healing* process-pool engine: per-task
+  timeouts, failure isolation, retry of transient failures with capped
+  exponential backoff, resume of interrupted/timed-out tasks from
+  periodic simulation checkpoints (``repro.sim.checkpoint``), recovery
+  from killed workers by rebuilding the pool, and graceful degradation
+  to serial execution when the pool keeps breaking.
 
 Determinism: simulations are pure functions of (config, workload), so
 results are bit-identical whatever ``jobs`` is — the executor only
 changes *when* each cell is computed, never *what* it computes.  The
-test suite asserts this (``tests/test_executor.py``).
+test suite asserts this (``tests/test_executor.py``), including across
+worker crashes and checkpoint resumes (``docs/resilience.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import signal
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.common.errors import CheckpointError, DeadlockError
 from repro.common.params import SystemConfig
 from repro.isa.trace import Workload
 from repro.sim.results import SimResult
 
+_log = logging.getLogger(__name__)
+
 #: Bump when the on-disk payload or the simulator's observable behaviour
 #: changes; old entries become unreachable (different keys) not corrupt.
-CACHE_FORMAT_VERSION = 1
+#: v2: entries carry an integrity ``checksum`` over the result document.
+CACHE_FORMAT_VERSION = 2
+
+#: Simulated cycles between rolling checkpoints when the executor runs
+#: with a ``checkpoint_dir`` and the caller gave no explicit interval.
+DEFAULT_CHECKPOINT_INTERVAL = 2_000
+
+#: True only inside a process-pool worker (set by the pool initializer).
+#: The chaos engine's process-fault injection (``crash_at_cycle`` /
+#: ``stall_at_cycle``) is gated on this so a degraded-to-serial executor
+#: — or any direct ``System.run`` — never kills the caller's process.
+IN_POOL_WORKER = False
+
+#: Attempt number (1-based) of the task currently running in this
+#: process; threaded through ``_run_task`` because environment changes
+#: do not reach already-forked pool workers.
+CURRENT_ATTEMPT = 1
+
+
+def _mark_pool_worker() -> None:
+    global IN_POOL_WORKER
+    IN_POOL_WORKER = True
+
 
 # canonical config JSON is memoized per config object: sweeps reuse a
 # handful of configs across hundreds of workload cells
@@ -65,6 +100,12 @@ def cache_key(config: SystemConfig, workload: Workload) -> str:
     return h.hexdigest()
 
 
+def _result_checksum(result_doc: Dict) -> str:
+    """Integrity checksum over the canonical result document."""
+    text = json.dumps(result_doc, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
 class ResultStore:
     """Persistent content-addressed store of simulation results.
 
@@ -72,6 +113,12 @@ class ResultStore:
     keeps directories small on big sweeps.  Writes go through a temp
     file + ``os.replace`` so concurrent writers (pool workers, parallel
     CI jobs) can only ever produce complete entries.
+
+    Every entry carries a sha256 checksum of its result document.  A
+    corrupt entry (unparseable, wrong format marker, checksum mismatch,
+    undecodable result) behaves like a miss, and the damaged file is
+    moved — once — to ``<root>/quarantine/`` for postmortems instead of
+    being re-read and re-rejected on every future lookup.
     """
 
     def __init__(self, root: str) -> None:
@@ -84,23 +131,57 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move ``key``'s damaged file into ``<root>/quarantine/``.
+
+        ``os.replace`` makes this once-only under concurrency: whichever
+        process wins the rename logs the warning; everyone else finds
+        the entry gone and treats it as an ordinary miss.
+        """
+        src = self._path(key)
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        dst = os.path.join(quarantine_dir, os.path.basename(src))
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(src, dst)
+        except OSError:
+            return
+        _log.warning("result store: quarantined corrupt entry %s -> %s "
+                     "(%s)", src, dst, reason)
+
     def get(self, key: str) -> Optional[SimResult]:
         """Load the stored result for ``key``; ``None`` when absent or
-        unreadable (a corrupt entry behaves like a miss)."""
+        corrupt.  Corrupt entries are quarantined (see class docs)."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             return None
-        if payload.get("format") != CACHE_FORMAT_VERSION:
+        except ValueError:
+            self._quarantine(key, "unparseable JSON")
             return None
-        return SimResult.from_dict(payload["result"])
+        if not isinstance(payload, dict) \
+                or payload.get("format") != CACHE_FORMAT_VERSION:
+            self._quarantine(key, "format marker mismatch")
+            return None
+        if payload.get("checksum") != _result_checksum(
+                payload.get("result", {})):
+            self._quarantine(key, "checksum mismatch")
+            return None
+        try:
+            return SimResult.from_dict(payload["result"])
+        except Exception as err:  # noqa: BLE001 - corrupt data boundary
+            self._quarantine(key, f"undecodable result "
+                             f"({type(err).__name__})")
+            return None
 
     def put(self, key: str, result: SimResult) -> None:
         directory = os.path.dirname(self._path(key))
         os.makedirs(directory, exist_ok=True)
+        doc = result.to_dict()
         payload = {"format": CACHE_FORMAT_VERSION, "key": key,
-                   "result": result.to_dict()}
+                   "result": doc, "checksum": _result_checksum(doc)}
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -145,14 +226,22 @@ class Task:
 
 
 class TaskFailure:
-    """An isolated task failure: the batch continues without it."""
+    """An isolated task failure: the batch continues without it.
 
-    __slots__ = ("label", "kind", "message")
+    ``attempts`` is how many times the executor tried the task before
+    giving up; ``dump`` carries the structured deadlock diagnostic
+    (``System.diagnostic_dump``) when the failure was a ``DeadlockError``.
+    """
 
-    def __init__(self, label: str, kind: str, message: str) -> None:
+    __slots__ = ("label", "kind", "message", "attempts", "dump")
+
+    def __init__(self, label: str, kind: str, message: str,
+                 attempts: int = 1, dump: Optional[Dict] = None) -> None:
         self.label = label
-        self.kind = kind          # "error" | "timeout"
+        self.kind = kind          # "error" | "timeout" | "interrupted"
         self.message = message
+        self.attempts = attempts
+        self.dump = dump
 
     def __repr__(self) -> str:
         return f"TaskFailure({self.label!r}, {self.kind}: {self.message})"
@@ -187,34 +276,98 @@ def _alarm_handler(_signum, _frame):
     raise _TaskTimeout()
 
 
+@contextmanager
+def _task_alarm(timeout_s: Optional[float]):
+    """SIGALRM-backed wall-clock budget for one task.
+
+    The teardown order is load-bearing: the pending alarm is cancelled
+    *before* the previous handler is restored.  Restoring first leaves a
+    window where a still-armed alarm fires into the restored handler —
+    for back-to-back serial tasks that would abort the *next* task (or
+    kill the process outright under the default disposition).
+    """
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    previous = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.alarm(max(1, int(timeout_s)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _simulate(config: SystemConfig, workload: Workload, meta: Dict,
+              checkpoint_path: Optional[str],
+              checkpoint_interval: Optional[int]) -> SimResult:
+    """Run one cell, through the checkpointing path when enabled.
+
+    On a retry (``meta["attempt"] > 1``) a valid rolling checkpoint left
+    by the previous attempt is resumed instead of restarting from cycle
+    zero; a missing or corrupt checkpoint falls back to a fresh run.
+    Sanitized configs always run fresh — they cannot be checkpointed
+    (``repro.sim.checkpoint``).
+    """
+    # deferred import: repro.sim.runner imports this module
+    from repro.sim.runner import collect_result, run_simulation
+    if checkpoint_path is None or config.sanitize:
+        return run_simulation(config, workload)
+    from repro.sim.checkpoint import load_checkpoint, run_with_checkpoints
+    from repro.sim.system import System
+    system = None
+    if meta["attempt"] > 1 and os.path.exists(checkpoint_path):
+        try:
+            system = load_checkpoint(checkpoint_path)
+            meta["resumed_from"] = system.cycles
+        except CheckpointError as err:
+            _log.warning("executor: discarding unusable checkpoint %s "
+                         "(%s); restarting task from cycle 0",
+                         checkpoint_path, err)
+            system = None
+    if system is None:
+        system = System(config, workload)
+        system.mem.warm(workload)
+    run_with_checkpoints(
+        system, checkpoint_path,
+        checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL)
+    try:
+        os.unlink(checkpoint_path)
+    except OSError:
+        pass
+    return collect_result(system)
+
+
 def _run_task(label: str, config: SystemConfig, workload: Workload,
-              timeout_s: Optional[float]) -> Tuple[str, str, object]:
+              timeout_s: Optional[float], attempt: int = 1,
+              checkpoint_path: Optional[str] = None,
+              checkpoint_interval: Optional[int] = None,
+              ) -> Tuple[str, str, object, Dict]:
     """Worker entry point (also the serial path, for identical
     semantics at ``jobs=1``).  Never raises: failures are reported as
     ('error'|'timeout', message) so one bad cell cannot take down the
-    batch or the pool."""
-    # deferred import: repro.sim.runner imports this module
-    from repro.sim.runner import run_simulation
-    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
-    previous = None
-    if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.alarm(max(1, int(timeout_s)))
+    batch or the pool.  The fourth element is attempt metadata:
+    ``attempt`` (1-based), ``resumed_from`` (checkpoint cycle or None)
+    and, for deadlocks, the diagnostic ``dump``."""
+    global CURRENT_ATTEMPT
+    CURRENT_ATTEMPT = attempt
+    meta: Dict = {"attempt": attempt, "resumed_from": None}
     try:
-        result = run_simulation(config, workload)
-        return (label, "ok", result)
+        with _task_alarm(timeout_s):
+            result = _simulate(config, workload, meta,
+                               checkpoint_path, checkpoint_interval)
+        return (label, "ok", result, meta)
     except _TaskTimeout:
-        return (label, "timeout", f"exceeded {timeout_s}s")
+        return (label, "timeout", f"exceeded {timeout_s}s", meta)
+    except DeadlockError as err:
+        meta["dump"] = err.dump
+        return (label, "error", f"DeadlockError: {err}", meta)
     except Exception as err:  # noqa: BLE001 - isolation boundary
-        return (label, "error", f"{type(err).__name__}: {err}")
-    finally:
-        if use_alarm:
-            signal.alarm(0)
-            signal.signal(signal.SIGALRM, previous)
+        return (label, "error", f"{type(err).__name__}: {err}", meta)
 
 
 class Executor:
-    """Fans batches of sweep tasks over a process pool.
+    """Fans batches of sweep tasks over a process pool, self-healing.
 
     * deduplicates by ``cache_key`` — a batch naming the same
       experiment twice simulates it once;
@@ -222,17 +375,69 @@ class Executor:
       persistent ``ResultStore``) before and after simulating;
     * isolates failures: a raising or deadlocked worker yields a
       ``TaskFailure``, never an exception out of ``run_tasks``;
+    * retries transient failures: timed-out tasks up to ``retries``
+      extra attempts, and tasks interrupted by a dying worker (SIGKILL,
+      OOM) at least once, with capped exponential backoff between retry
+      rounds — resuming from the task's rolling checkpoint when a
+      ``checkpoint_dir`` is configured;
+    * recovers from a broken process pool by building a fresh pool for
+      the next round, and degrades to in-process serial execution after
+      ``pool_failure_limit`` consecutive breaks;
     * is deterministic: the returned mapping depends only on the tasks,
-      never on ``jobs`` or completion order.
+      never on ``jobs``, completion order, or how many faults were
+      healed along the way (a resumed run is bit-identical to a fresh
+      one — see ``repro.sim.checkpoint``).
     """
 
     def __init__(self, jobs: int = 1, timeout_s: Optional[float] = None,
-                 cache: Optional["ExperimentCache"] = None) -> None:
+                 cache: Optional["ExperimentCache"] = None,
+                 retries: int = 0, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 pool_failure_limit: int = 3,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_interval: Optional[int] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if pool_failure_limit < 1:
+            raise ValueError("pool_failure_limit must be >= 1")
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.cache = cache
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.pool_failure_limit = pool_failure_limit
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self._pool_breaks = 0
+        self._degraded = False
+
+    def _retry_budget(self, status: str) -> int:
+        """Extra attempts allowed after a failure of ``status``.
+
+        An interruption (the worker died under the task) is always worth
+        one retry even at ``retries=0``: the task itself did nothing
+        wrong, and a checkpoint may make the retry nearly free.  Plain
+        errors are deterministic — retrying replays the same exception.
+        """
+        if status == "interrupted":
+            return max(self.retries, 1)
+        if status == "timeout":
+            return self.retries
+        return 0
+
+    def _backoff_delay(self, round_index: int) -> float:
+        return min(self.backoff_cap_s,
+                   self.backoff_s * (2 ** (round_index - 1)))
+
+    def _checkpoint_args(self, key: str
+                         ) -> Tuple[Optional[str], Optional[int]]:
+        if self.checkpoint_dir is None:
+            return None, None
+        path = os.path.join(self.checkpoint_dir, f"{key}.ckpt")
+        return path, self.checkpoint_interval
 
     def run_tasks(self, tasks: Iterable[Task],
                   cache: Optional["ExperimentCache"] = None,
@@ -240,7 +445,8 @@ class Executor:
         tasks = list(tasks)
         cache = cache if cache is not None else self.cache
         stats = {"tasks": len(tasks), "cache_hits": 0, "simulated": 0,
-                 "deduplicated": 0, "failed": 0}
+                 "deduplicated": 0, "failed": 0, "retries": 0,
+                 "resumed": 0, "pool_rebuilds": 0, "degraded_serial": 0}
         results: Dict[str, SimResult] = {}
         failures: List[TaskFailure] = []
         # resolve cache hits and deduplicate identical experiments
@@ -260,40 +466,100 @@ class Executor:
                     results[waiting.label] = hit
                 continue
             pending[key] = task
-        # simulate the misses
-        for key, outcome in self._execute(pending):
-            label, status, payload = outcome
-            if status == "ok":
-                stats["simulated"] += 1
-                result = payload
-                if cache is not None:
-                    task = pending[key]
-                    cache.insert(task.config, task.workload, result)
-                for waiting in by_key[key]:
-                    results[waiting.label] = result
-            else:
-                stats["failed"] += 1
-                for waiting in by_key[key]:
-                    failures.append(
-                        TaskFailure(waiting.label, status, payload))
+        # simulate the misses; failed-but-retryable tasks roll into the
+        # next round with an incremented attempt number
+        attempt: Dict[str, int] = {key: 1 for key in pending}
+        remaining = dict(pending)
+        round_index = 0
+        while remaining:
+            if round_index:
+                delay = self._backoff_delay(round_index)
+                if delay > 0:
+                    time.sleep(delay)
+            round_index += 1
+            retry_round: Dict[str, Task] = {}
+            for key, outcome in self._execute(remaining, attempt, stats):
+                label, status, payload, meta = outcome
+                if meta.get("resumed_from") is not None:
+                    stats["resumed"] += 1
+                if status == "ok":
+                    stats["simulated"] += 1
+                    if cache is not None:
+                        task = pending[key]
+                        cache.insert(task.config, task.workload, payload)
+                    for waiting in by_key[key]:
+                        results[waiting.label] = payload
+                elif attempt[key] <= self._retry_budget(status):
+                    stats["retries"] += 1
+                    attempt[key] += 1
+                    retry_round[key] = pending[key]
+                    _log.warning("executor: task %r attempt %d %s (%s); "
+                                 "retrying", label, meta.get("attempt", 1),
+                                 status, payload)
+                else:
+                    stats["failed"] += 1
+                    for waiting in by_key[key]:
+                        failures.append(TaskFailure(
+                            waiting.label, status, payload,
+                            attempts=attempt[key],
+                            dump=meta.get("dump")))
+            remaining = retry_round
         return ExecutorOutcome(results, failures, stats)
 
-    def _execute(self, pending: Dict[str, Task]):
-        """Yield (key, worker outcome) for every pending task."""
+    def _execute(self, pending: Dict[str, Task],
+                 attempt: Dict[str, int], stats: Dict[str, int]):
+        """Yield (key, worker outcome) for every pending task.
+
+        Pool-worker deaths surface as synthetic ``interrupted`` outcomes
+        (``concurrent.futures`` fails *every* unfinished future when a
+        worker dies, so siblings of the killed task are interrupted,
+        not failed).  Each broken pool counts toward degradation; past
+        ``pool_failure_limit`` breaks, execution continues serially
+        in-process — slower, but immune to pool-level faults.
+        """
         if not pending:
             return
+
         def timeout_of(task: Task) -> Optional[float]:
             return task.timeout_s if task.timeout_s is not None \
                 else self.timeout_s
-        if self.jobs == 1:
+
+        if self.jobs == 1 or self._degraded:
             for key, task in pending.items():
+                path, interval = self._checkpoint_args(key)
                 yield key, _run_task(task.label, task.config,
-                                     task.workload, timeout_of(task))
+                                     task.workload, timeout_of(task),
+                                     attempt[key], path, interval)
             return
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                key: pool.submit(_run_task, task.label, task.config,
-                                 task.workload, timeout_of(task))
-                for key, task in pending.items()}
+        broken = False
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 initializer=_mark_pool_worker) as pool:
+            futures = {}
+            for key, task in pending.items():
+                path, interval = self._checkpoint_args(key)
+                futures[key] = pool.submit(
+                    _run_task, task.label, task.config, task.workload,
+                    timeout_of(task), attempt[key], path, interval)
             for key, future in futures.items():
-                yield key, future.result()
+                task = pending[key]
+                try:
+                    yield key, future.result()
+                except BrokenExecutor:
+                    broken = True
+                    yield key, (task.label, "interrupted",
+                                "worker process died before the task "
+                                "completed", {"attempt": attempt[key]})
+                except Exception as err:  # noqa: BLE001 - isolation
+                    yield key, (task.label, "error",
+                                f"{type(err).__name__}: {err}",
+                                {"attempt": attempt[key]})
+        if broken:
+            stats["pool_rebuilds"] += 1
+            self._pool_breaks += 1
+            if not self._degraded \
+                    and self._pool_breaks >= self.pool_failure_limit:
+                self._degraded = True
+                stats["degraded_serial"] = 1
+                _log.warning("executor: process pool broke %d time(s); "
+                             "degrading to serial execution",
+                             self._pool_breaks)

@@ -25,11 +25,24 @@ def run_simulation(config: SystemConfig, workload: Workload,
     system = System(config, workload)
     if warm:
         system.mem.warm(workload)
-    cycles = system.run()
+    system.run()
+    return collect_result(system)
+
+
+def collect_result(system: System) -> SimResult:
+    """Assemble the ``SimResult`` of a completed system.
+
+    Split from ``run_simulation`` so a run resumed from a checkpoint
+    (``repro.sim.checkpoint``) collects its results through exactly the
+    same code as an uninterrupted one — the bit-identity the resume
+    tests assert is of *this* function's output.
+    """
+    config = system.config
+    workload = system.workload
     result = SimResult(
         workload_name=workload.name,
         config=config,
-        cycles=cycles,
+        cycles=system.cycles,
         instructions=workload.total_instructions,
         core_stats={core.core_id: core.stats.as_dict()
                     for core in system.cores},

@@ -69,9 +69,26 @@ class System:
             from repro.verify.sanitizer import Sanitizer
             self.sanitizer = Sanitizer(self)
             self.sanitizer.attach()
+        self.chaos = None
+        if config.chaos is not None:
+            # deferred import: fault injection is optional tooling
+            from repro.chaos.engine import ChaosEngine
+            self.chaos = ChaosEngine(config.chaos, self)
+            if self.sanitizer is not None:
+                # wrap before install so even the first scheduled fault
+                # event goes through the trace-recording shims
+                self.sanitizer.attach_chaos(self.chaos)
+            self.chaos.install()
 
-    def run(self, max_cycles: int = 50_000_000) -> int:
-        """Run to completion of every trace; returns total cycles.
+    def run(self, max_cycles: int = 50_000_000,
+            stop_cycle: Optional[int] = None) -> int:
+        """Run to completion of every trace; returns the cycle reached.
+
+        ``stop_cycle`` pauses the run once that cycle has been simulated
+        (instead of running to completion) so a checkpoint can be taken
+        (``repro.sim.checkpoint``); calling ``run`` again resumes from
+        ``self.cycles`` and the stitched run is bit-identical to an
+        uninterrupted one.
 
         This is the hot loop of every experiment.  Two things keep the
         per-cycle cost low without changing simulated behaviour:
@@ -91,8 +108,8 @@ class System:
         must produce bit-identical cycle counts (asserted by the tests;
         timed against this loop by ``python -m repro bench``).
         """
-        cycle = 0
-        last_progress_cycle = 0
+        cycle = self.cycles
+        last_progress_cycle = cycle
         last_retired = -1
         deadlock_window = self.config.deadlock_cycles
         events = self.events
@@ -101,6 +118,8 @@ class System:
         fast_forward = self.sanitizer is None
         live = [core for core in self.cores if not core.done]
         while live:
+            if stop_cycle is not None and cycle >= stop_cycle:
+                break
             cycle += 1
             events.run_until(cycle)
             finished = False
@@ -119,9 +138,11 @@ class System:
             elif cycle - last_progress_cycle > deadlock_window:
                 detail = "; ".join(repr(core) for core in self.cores
                                    if not core.done)
-                raise DeadlockError(cycle, detail)
+                raise DeadlockError(cycle, detail,
+                                    dump=self.diagnostic_dump(cycle))
             if cycle >= max_cycles:
-                raise DeadlockError(cycle, "max_cycles exceeded")
+                raise DeadlockError(cycle, "max_cycles exceeded",
+                                    dump=self.diagnostic_dump(cycle))
             if fast_forward:
                 bound = QUIET_FOREVER
                 for core in live:
@@ -145,10 +166,12 @@ class System:
                         target = deadlock_at
                     if max_cycles < target:
                         target = max_cycles
+                    if stop_cycle is not None and stop_cycle < target:
+                        target = stop_cycle
                     if target > cycle + 1:
                         cycle = target - 1
         self.cycles = cycle
-        if self.sanitizer is not None:
+        if self.sanitizer is not None and self.done:
             self.sanitizer.finish()
         return cycle
 
@@ -182,9 +205,11 @@ class System:
             elif cycle - last_progress_cycle > deadlock_window:
                 detail = "; ".join(repr(core) for core in cores
                                    if not core.done)
-                raise DeadlockError(cycle, detail)
+                raise DeadlockError(cycle, detail,
+                                    dump=self.diagnostic_dump(cycle))
             if cycle >= max_cycles:
-                raise DeadlockError(cycle, "max_cycles exceeded")
+                raise DeadlockError(cycle, "max_cycles exceeded",
+                                    dump=self.diagnostic_dump(cycle))
         self.cycles = cycle
         if self.sanitizer is not None:
             self.sanitizer.finish()
@@ -193,3 +218,22 @@ class System:
     @property
     def total_retired(self) -> int:
         return sum(core.retired for core in self.cores)
+
+    @property
+    def done(self) -> bool:
+        """Every trace has fully retired (nothing left to simulate)."""
+        return all(core.done for core in self.cores)
+
+    def diagnostic_dump(self, cycle: Optional[int] = None) -> Dict:
+        """Structured snapshot of the stuck (or paused) machine, attached
+        to ``DeadlockError`` so postmortems don't need a rerun: per-core
+        ROB head and oldest-load state, the earliest pending events, and
+        pin/CPT occupancy (inside each core's ``debug_state``)."""
+        return {
+            "cycle": self.cycles if cycle is None else cycle,
+            "retired_total": self.total_retired,
+            "pending_events": self.events.pending_summary(),
+            "busy_lines": [hex(line)
+                           for line in sorted(self.mem._busy_lines)],
+            "cores": [core.debug_state() for core in self.cores],
+        }

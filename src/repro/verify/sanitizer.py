@@ -80,6 +80,33 @@ class Sanitizer:
         for core in self.system.cores:
             self._wrap_core(core)
 
+    def attach_chaos(self, chaos) -> None:
+        """Record injected faults in the event trace (``System`` calls
+        this when a chaos engine is installed *after* ``attach``).  A
+        pin-safety violation under fault injection then shows the
+        provoking fault right next to the offending eviction — which is
+        also how the campaign's ``evict-pinned`` mutant self-test proves
+        the sanitizer is actually watching the forced-eviction path."""
+        orig_l1 = chaos._force_l1_eviction
+        orig_llc = chaos._force_llc_eviction
+        orig_spike = chaos._wb_spike_start
+
+        def force_l1_eviction():
+            self._record("chaos force-evict L1")
+            return orig_l1()
+
+        def force_llc_eviction():
+            self._record("chaos force-evict LLC")
+            return orig_llc()
+
+        def wb_spike_start():
+            self._record("chaos wb-spike")
+            return orig_spike()
+
+        chaos._force_l1_eviction = force_l1_eviction
+        chaos._force_llc_eviction = force_llc_eviction
+        chaos._wb_spike_start = wb_spike_start
+
     def finish(self) -> None:
         """End-of-run accounting (no violations raised here)."""
         self.stats.set("callbacks_unfired", self._callbacks_live)

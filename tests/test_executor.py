@@ -16,8 +16,8 @@ import os
 
 import pytest
 
-from repro.common.params import (COMPREHENSIVE, DefenseKind, PinningMode,
-                                 SystemConfig)
+from repro.common.params import (COMPREHENSIVE, ChaosConfig, DefenseKind,
+                                 PinningMode, SystemConfig)
 from repro.isa.trace import Trace, Workload
 from repro.isa.uops import MicroOp, OpClass
 from repro.sim.executor import (CACHE_FORMAT_VERSION, Executor,
@@ -313,3 +313,171 @@ class TestBarrierMemoryBound:
         assert barriers.released(7)
         barriers.arrive(7, 0)   # replayed arrival must not resurrect it
         assert barriers._arrived == {}
+
+
+def _hung_workload():
+    # thread 0 parks at a barrier thread 1 never reaches
+    t0 = Trace([MicroOp(0, OpClass.BARRIER, barrier_id=0)], "t0")
+    t1 = Trace([MicroOp(0, OpClass.INT_ALU)], "t1")
+    return Workload([t0, t1], name="hung")
+
+
+def _quiet_chaos(**fields):
+    """A ChaosConfig that injects no timing faults — only the executor
+    process faults (crash/stall) named in ``fields``.  Serial runs of
+    the same config are therefore the bit-exact ground truth: process
+    faults only fire inside pool worker processes."""
+    return ChaosConfig(msg_jitter=0, msg_jitter_prob=0.0, nack_prob=0.0,
+                       evict_interval=0, **fields)
+
+
+class TestAlarmLifecycle:
+    def test_timeout_then_success_back_to_back(self):
+        """Regression for the SIGALRM lifecycle: after a task times out,
+        the next task in the same process must run cleanly — no pending
+        alarm may survive a task, and the previous handler must be back
+        in place."""
+        import dataclasses
+        import signal
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        before = signal.getsignal(signal.SIGALRM)
+        config = dataclasses.replace(
+            SystemConfig(num_cores=2).with_defense(
+                DefenseKind.FENCE, COMPREHENSIVE, PinningMode.EARLY),
+            deadlock_cycles=10**9)
+        tasks = [Task("hung", config, _hung_workload(), timeout_s=1),
+                 Task("good", BASE, small_workload(), timeout_s=30)]
+        outcome = Executor(jobs=1).run_tasks(tasks)
+        assert [f.label for f in outcome.failures] == ["hung"]
+        assert outcome.failures[0].kind == "timeout"
+        # the second task ran with its own alarm and finished correctly
+        assert outcome.results["good"].to_dict() \
+            == run_simulation(BASE, small_workload()).to_dict()
+        assert signal.alarm(0) == 0   # nothing pending leaked out
+        assert signal.getsignal(signal.SIGALRM) == before
+
+
+class TestWorkerCrashIsolation:
+    def test_sigkilled_worker_retried_and_sibling_survives(self, tmp_path):
+        """SIGKILL one pool worker mid-batch: the batch still returns
+        every result — the killed task resumes from its rolling
+        checkpoint on retry, the pool is rebuilt, and nothing raises."""
+        import dataclasses
+        crash = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(crash_at_cycle=400, crash_attempts=1))
+        tasks = [Task("crashy", crash, small_workload()),
+                 Task("solid", BASE, small_workload("leela_r"))]
+        executor = Executor(jobs=2, retries=1,
+                            checkpoint_dir=str(tmp_path),
+                            checkpoint_interval=150)
+        outcome = executor.run_tasks(tasks)
+        assert not outcome.failures
+        assert set(outcome.results) == {"crashy", "solid"}
+        assert outcome.stats["pool_rebuilds"] >= 1
+        assert outcome.stats["retries"] >= 1
+        serial = run_simulation(crash, small_workload())
+        assert outcome.results["crashy"].to_dict() == serial.to_dict()
+        assert outcome.results["solid"].to_dict() \
+            == run_simulation(BASE, small_workload("leela_r")).to_dict()
+
+    def test_exhausted_crash_budget_is_a_task_failure(self, tmp_path):
+        """A worker that dies on every attempt ends as a TaskFailure of
+        kind 'interrupted' — run_tasks never raises."""
+        import dataclasses
+        crash = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(crash_at_cycle=400, crash_attempts=99))
+        outcome = Executor(jobs=2, retries=1,
+                           checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=150,
+                           pool_failure_limit=99).run_tasks(
+            [Task("doomed", crash, small_workload())])
+        assert outcome.results == {}
+        assert [f.label for f in outcome.failures] == ["doomed"]
+        assert outcome.failures[0].kind == "interrupted"
+        assert outcome.failures[0].attempts >= 2
+
+    def test_unhealthy_pool_degrades_to_serial(self, tmp_path):
+        """When the pool keeps dying, the executor falls back to serial
+        in-process execution and the whole batch still completes.
+        (Process-fault injection is gated to pool workers, so the
+        repeat-crasher runs clean serially — exactly the 'poisoned
+        environment' the fallback exists for.)"""
+        import dataclasses
+        crash = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(crash_at_cycle=400, crash_attempts=99))
+        tasks = [Task("doomed", crash, small_workload()),
+                 Task("solid", BASE, small_workload("leela_r"))]
+        outcome = Executor(jobs=2, retries=2,
+                           checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=150,
+                           pool_failure_limit=1).run_tasks(tasks)
+        assert not outcome.failures
+        assert set(outcome.results) == {"doomed", "solid"}
+        assert outcome.stats["degraded_serial"] == 1
+        assert outcome.results["doomed"].to_dict() \
+            == run_simulation(crash, small_workload()).to_dict()
+
+
+class TestTimeoutRetryFromCheckpoint:
+    def test_timed_out_task_resumes_and_matches_serial(self, tmp_path):
+        """Acceptance: a task that times out (injected wall-clock stall)
+        is retried, resumes from its rolling checkpoint, and produces a
+        result bit-identical to an unfaulted serial run."""
+        import dataclasses
+        stall = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(stall_at_cycle=400, stall_seconds=30.0,
+                                     stall_attempts=1))
+        task = Task("stall", stall, small_workload(), timeout_s=2)
+        outcome = Executor(jobs=2, retries=1,
+                           checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=150).run_tasks([task])
+        assert not outcome.failures
+        assert outcome.stats["retries"] == 1
+        assert outcome.stats["resumed"] >= 1
+        serial = run_simulation(stall, small_workload())
+        assert outcome.results["stall"].to_dict() == serial.to_dict()
+
+
+class TestResultStoreQuarantine:
+    def _populated_store(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        workload = small_workload()
+        key = cache_key(BASE, workload)
+        result = run_simulation(BASE, workload)
+        store.put(key, result)
+        return store, key, result
+
+    def test_unparseable_entry_quarantined_once(self, tmp_path, caplog):
+        import logging
+        store, key, _ = self._populated_store(tmp_path)
+        path = store._path(key)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{ truncated")
+        with caplog.at_level(logging.WARNING, logger="repro.sim.executor"):
+            assert store.get(key) is None
+        assert any("quarantin" in record.message.lower()
+                   for record in caplog.records)
+        quarantine = os.path.join(str(tmp_path), "quarantine")
+        assert len(os.listdir(quarantine)) == 1
+        assert not os.path.exists(path)
+        # second read: plain miss, nothing new quarantined
+        assert store.get(key) is None
+        assert len(os.listdir(quarantine)) == 1
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        """Valid JSON with a silently flipped stat must not be served:
+        the checksum catches it and the file is quarantined."""
+        store, key, result = self._populated_store(tmp_path)
+        path = store._path(key)
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["result"]["cycles"] += 1
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        assert store.get(key) is None
+        quarantine = os.path.join(str(tmp_path), "quarantine")
+        assert len(os.listdir(quarantine)) == 1
+        # the slot is reusable after quarantine
+        store.put(key, result)
+        assert store.get(key).to_dict() == result.to_dict()
