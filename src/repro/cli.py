@@ -129,11 +129,16 @@ def _cmd_bench(args) -> int:
     from repro.sim.bench import run_bench, write_record
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    hot_apps = [a.strip() for a in args.hot_apps.split(",") if a.strip()]
+    hot_schemes = [s.strip() for s in args.hot_schemes.split(",")
+                   if s.strip()]
     try:
         record = run_bench(apps, schemes, args.instructions, args.jobs,
                            args.cache_dir, timeout_s=args.timeout,
                            run_serial=not args.no_serial,
-                           baseline_src=args.baseline_src)
+                           baseline_src=args.baseline_src,
+                           hot_apps=hot_apps, hot_schemes=hot_schemes,
+                           profile=args.profile)
     except (RuntimeError, AssertionError, ValueError) as error:
         raise SystemExit(f"repro bench: {error}")
     if args.out:
@@ -155,8 +160,14 @@ def _cmd_bench(args) -> int:
           f"({warm['simulated']} re-simulated, "
           f"{warm['cache_hits']} served from {args.cache_dir})")
     hot = record["hot_loop"]
-    print(f"hot loop      : {hot['speedup']}x vs reference "
-          f"({hot['cycles_per_second']} cycles/s on {hot['workload']})")
+    per_scheme = ", ".join(
+        f"{label} {entry['speedup']}x"
+        for label, entry in hot["per_scheme"].items())
+    print(f"hot loop      : {per_scheme}")
+    if "defended_geomean_speedup" in hot:
+        print(f"hot geomean   : {hot['defended_geomean_speedup']}x "
+              f"vs reference across defended schemes "
+              f"(cycle counts + stats identical per cell)")
     if "hot_loop_vs_baseline" in record:
         vs = record["hot_loop_vs_baseline"]
         per_app = ", ".join(
@@ -344,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="src/ directory of another checkout (e.g. "
                          "the pre-optimization seed) to time System.run "
                          "against, in fixed-hash-seed subprocesses")
+    from repro.sim.bench import DEFAULT_HOT_APPS, DEFAULT_HOT_SCHEMES
+    bench_p.add_argument("--hot-apps", default=",".join(DEFAULT_HOT_APPS),
+                         help="comma-separated apps for the hot-loop "
+                         "matrix (default: %(default)s)")
+    bench_p.add_argument("--hot-schemes",
+                         default=",".join(DEFAULT_HOT_SCHEMES),
+                         help="comma-separated schemes for the hot-loop "
+                         "matrix (default: %(default)s)")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="cProfile each phase; top-20 cumulative "
+                         "hotspots land in the JSON record")
     bench_p.set_defaults(func=_cmd_bench)
 
     verify_p = sub.add_parser(

@@ -9,6 +9,15 @@ are passed through to the callback.  Hot paths use this instead of
 wrapping the call in a lambda: binding arguments into the heap entry
 avoids one closure allocation per scheduled event (see
 ``docs/performance.md``).
+
+The queue doubles as the wakeup source for ``System.run``'s idle-cycle
+fast-forward: pending events bound how far the loop may skip
+(``next_time``), so a state transition is allowed to be "invisible" to
+``Core.quiet_until`` exactly when it is scheduled here.  Do NOT add
+no-op "wakeup" events to widen that contract — every schedule consumes
+a tie-breaking sequence number, so an extra event perturbs the FIFO
+order of same-cycle deliveries and changes simulated behaviour.  Cores
+signal tick-time wakeups with the ``Core._wake_pending`` flag instead.
 """
 
 from __future__ import annotations

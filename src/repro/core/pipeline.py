@@ -20,6 +20,7 @@ from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
                                  ThreatModel)
 from repro.common.stats import StatSet
 from repro.core.lsq import LoadQueue, StoreQueue
+from repro.core.tracking import VPFrontier
 from repro.core.rob import ReorderBuffer, ROBEntry
 from repro.isa.trace import Trace
 from repro.isa.uops import MicroOp, OpClass
@@ -65,7 +66,8 @@ class Core(CorePort):
         "_lp_parked", "_waiters", "_data_waiters", "_resolved_mispredicts",
         "_wb_draining", "retired_count", "_progress", "_trace_len",
         "_vp_active", "_rob_entries", "_wb_entries", "_width",
-        "_rob_capacity", "retire_sig", "__dict__",
+        "_rob_capacity", "retire_sig", "_vp_frontier", "_wake_pending",
+        "_waiting_stalled", "__dict__",
     )
 
     def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
@@ -102,6 +104,12 @@ class Core(CorePort):
         self._data_waiters: Dict[int, List[ROBEntry]] = {}
         self._resolved_mispredicts: set = set()
         self._wb_draining = False
+        # event-driven wakeup state (see ``quiet_until``): the frontier
+        # holds the loads the VP walk can act on; the dirty flag records
+        # that something mutated since this core's last tick began
+        self._vp_frontier = VPFrontier()
+        self._wake_pending = True
+        self._waiting_stalled = False
         self.retired_count = 0
         # order-sensitive FNV-style signature of the retired uop indices:
         # the committed stream must be invariant under any injected-fault
@@ -127,15 +135,22 @@ class Core(CorePort):
         return self.controller.has_pinned(line)
 
     def on_invalidation(self, line: int) -> None:
+        # coherence hooks may fire after this core's tick this cycle
+        # (from another core's tick); the flag keeps the core un-quiet
+        # until the next tick has processed the new state
+        self._wake_pending = True
         self._mcv_squash_check(line, "inval")
 
     def on_line_evicted(self, line: int) -> None:
+        self._wake_pending = True
         self._mcv_squash_check(line, "evict")
 
     def cpt_insert(self, line: int, writer: Optional[int] = None) -> None:
+        self._wake_pending = True
         self.controller.cpt_insert(line, writer)
 
     def cpt_clear(self, line: int) -> None:
+        self._wake_pending = True
         self.controller.cpt_clear(line)
 
     def _mcv_squash_check(self, line: int, kind: str) -> None:
@@ -171,6 +186,13 @@ class Core(CorePort):
         behaviour-identical — asserted by the tests."""
         if self.done_cycle is not None:
             return
+        # mutations made by this tick body (or arriving later this cycle
+        # from another core's tick) re-arm the flag; a tick that mutates
+        # nothing leaves it clear, and ``quiet_until`` may then report
+        # the defense machinery quiet (cleared here, NOT in
+        # ``tick_reference`` — the flag is only read by the optimized
+        # loop and setting it is inert under the reference loop)
+        self._wake_pending = False
         self.cycle = cycle
         rob_entries = self._rob_entries
         if rob_entries:
@@ -203,13 +225,29 @@ class Core(CorePort):
         conditions below holds, because all other state transitions
         (completions, memory fills, write-buffer drains, branch
         resolutions and the squashes they cause) arrive via the event
-        queue, and the caller never skips past a pending event.  Cores
-        with per-cycle machinery of their own (VP walks, taint, pinning
-        controller) are conservatively never quiet.
+        queue, and the caller never skips past a pending event.
+
+        The defense machinery (the VP walk, taint queries, the pinning
+        controller) is quiet on the same argument, tracked by the
+        ``_wake_pending`` dirty flag: every mutation that can move VP,
+        taint, or pin state — dispatch, retire, squash, address
+        generation, branch resolution, data arrival, store drains,
+        VP marking itself, and the coherence-driven CPT/invalidation
+        hooks — sets the flag, and ``tick`` clears it on entry.  A clear
+        flag therefore means the machinery is at a fixpoint: re-running
+        the walk and the pin chain on unchanged state marks and pins
+        nothing (their inputs are pure functions of that state), so the
+        next ticks are no-ops until an event or another core's tick
+        re-arms the flag.  Stalled pre-VP loads (``_waiting_stalled``)
+        are quiet on the same fixpoint argument: an issue mode can only
+        flip via a flagged mutation or an event (cache fills move DOM's
+        hit probe; VP marks and retires move STT's taint roots).
         """
-        if self._vp_active or self._pinning:
+        if self._wake_pending and (self._vp_active or self._pinning):
             return 0
-        if self._ready or self._waiting_loads or self._lp_parked:
+        if self._ready or self._lp_parked:
+            return 0
+        if self._waiting_loads and not self._waiting_stalled:
             return 0
         if self._wb_entries and not self._wb_draining:
             return 0
@@ -300,6 +338,7 @@ class Core(CorePort):
         return head.complete
 
     def _retire(self, head: ROBEntry) -> None:
+        self._wake_pending = True
         uop = head.uop
         opclass = uop.opclass
         if opclass is OpClass.LOAD:
@@ -327,23 +366,34 @@ class Core(CorePort):
     # ------------------------------------------------------------------
 
     def note_vp_reached(self, entry: ROBEntry) -> None:
-        """Record the cycle a load reached its Visibility Point."""
+        """Record the cycle a load reached its Visibility Point.
+
+        Always re-arms the wakeup flag: every caller is a mutation site
+        (the VP walk, pin grants, oldest-load exemptions, LP authorized
+        issues), including the calls that find ``vp_cycle`` already set
+        but changed ``mcv_safe`` just before."""
+        self._wake_pending = True
         if entry.vp_cycle is None:
             entry.vp_cycle = self.cycle
+            self._vp_frontier.discard(entry.index)
             self.stats.bump("vp_reached")
             self.scheme.on_load_vp(entry)
 
     def _update_vps(self) -> None:
-        """Walk the LQ in program order marking loads whose VP conditions
-        now hold.  The below-MCV conditions are monotone in program order,
-        so the walk stops at the first load that fails them."""
+        """Mark loads whose VP conditions now hold, walking the frontier
+        of candidates (address generated, VP pending) in program order.
+        The below-MCV conditions are monotone in program order, so the
+        walk stops at the first candidate that fails them — equivalent
+        to the seed's full-LQ walk (see ``VPFrontier``)."""
         if not self.scheme.gates_issue and self.taint is None:
+            return
+        if not self._vp_frontier:
             return
         level = self.config.threat_model.level
         pinned_mode = self._pinning
         aggressive = self.config.pinning.aggressive_tso
         vp = self.vp_state
-        for load in self.lq:
+        for load in self._vp_frontier.candidates():
             index = load.index
             # conditions over *older* uops are monotone in program order:
             # once one fails, it fails for every younger load too
@@ -355,10 +405,6 @@ class Core(CorePort):
             if level >= ThreatModel.EXCEPT.level \
                     and not vp.unknown_addr_memops.none_below(index):
                 break
-            if load.vp_cycle is not None:
-                continue
-            if not load.addr_ready:
-                continue    # own-address readiness is not monotone
             if level >= ThreatModel.MCV.level:
                 if pinned_mode:
                     if not load.mcv_safe:
@@ -449,6 +495,7 @@ class Core(CorePort):
     def _on_branch_resolved(self, entry: ROBEntry) -> None:
         if entry.squashed:
             return
+        self._wake_pending = True
         self.vp_state.unresolved_branches.discard(entry.index)
         self._complete(entry)
         if entry.uop.mispredicted \
@@ -464,6 +511,7 @@ class Core(CorePort):
     def _on_addr_ready(self, entry: ROBEntry) -> None:
         if entry.squashed:
             return
+        self._wake_pending = True
         entry.addr_ready = True
         opclass = entry.uop.opclass
         self.vp_state.unknown_addr_memops.discard(entry.index)
@@ -474,6 +522,10 @@ class Core(CorePort):
             self._maybe_complete_store(entry)
         elif opclass is OpClass.LOAD:
             self._waiting_loads.append(entry)
+            # a fresh load invalidates any "all stalled" conclusion
+            self._waiting_stalled = False
+            if self._vp_active and entry.vp_cycle is None:
+                self._vp_frontier.add(entry)
         # ATOMICs wait for the ROB head (they execute non-speculatively)
 
     def _alias_squash_check(self, store: ROBEntry) -> None:
@@ -497,6 +549,10 @@ class Core(CorePort):
         self._waiting_loads.sort(key=lambda e: e.index)
         budget = L1_PORTS
         keep: List[ROBEntry] = []
+        # every kept load stalled by its scheme (not by the port budget)
+        # → re-running this stage is a no-op until an event or a flagged
+        # mutation flips an issue mode; read by ``quiet_until``
+        stalled_only = True
         for entry in self._waiting_loads:
             if entry.squashed or entry.issued:
                 continue
@@ -509,7 +565,10 @@ class Core(CorePort):
                 budget -= 1
             else:
                 keep.append(entry)
+                if mode is not IssueMode.STALL:
+                    stalled_only = False
         self._waiting_loads = keep
+        self._waiting_stalled = stalled_only
 
     def _load_issue_mode(self, entry: ROBEntry) -> IssueMode:
         if not self.scheme.gates_issue:
@@ -562,6 +621,7 @@ class Core(CorePort):
                                 _cycle: int = 0) -> None:
         if entry.squashed:
             return
+        self._wake_pending = True
         entry.outstanding = False
         if (self.sq.forwarding_store(entry) is not None
                 or self.write_buffer.contains_line(entry.line)):
@@ -601,6 +661,7 @@ class Core(CorePort):
     def _on_load_data(self, entry: ROBEntry, _cycle: int = 0) -> None:
         if entry.squashed:
             return
+        self._wake_pending = True
         entry.outstanding = False
         if (self.sq.forwarding_store(entry) is not None
                 or self.write_buffer.contains_line(entry.line)):
@@ -680,6 +741,7 @@ class Core(CorePort):
             dispatched += 1
 
     def _dispatch(self, uop: MicroOp) -> None:
+        self._wake_pending = True
         entry = ROBEntry(uop, 0, self.cycle)
         pending = 0
         for dep in uop.deps:
@@ -730,6 +792,7 @@ class Core(CorePort):
     def _squash_from(self, index: int, reason: Optional[str]) -> None:
         """Squash every in-flight uop with program-order index >= index and
         rewind the fetch cursor for replay."""
+        self._wake_pending = True
         if reason is not None:
             self.stats.bump(f"squashes_{reason}")
             self._fetch_resume = max(
@@ -754,6 +817,7 @@ class Core(CorePort):
         index = entry.index
         opclass = entry.uop.opclass
         if opclass is OpClass.LOAD:
+            self._vp_frontier.discard(index)
             vp.unretired_loads.discard(index)
             vp.unknown_addr_memops.discard(index)
             self.controller.on_load_squash(entry)
@@ -782,6 +846,7 @@ class Core(CorePort):
         self.mem.store(self.core_id, head.line, self._on_store_performed)
 
     def _on_store_performed(self, _cycle: int) -> None:
+        self._wake_pending = True
         self.write_buffer.pop()
         self.stats.bump("stores_performed")
         self._wb_draining = False

@@ -9,22 +9,28 @@ replacement state as if the pinned line had been accessed".
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 
 class LRUSet:
     """One cache set tracked in least-recently-used order.
 
     Keys are line numbers; values are caller-owned state objects.  The
-    iteration order of the underlying ``OrderedDict`` runs from LRU to MRU.
+    iteration order of the underlying dict runs from LRU to MRU: plain
+    dicts preserve insertion order, and "recently used" is re-insertion
+    at the end (``pop`` + assign).  A plain dict is preferred over
+    ``collections.OrderedDict`` because checkpoints pickle thousands of
+    sets per system and the C ``OrderedDict.__reduce__`` re-derives
+    ``copyreg._slotnames`` per *instance* (uncacheable on extension
+    types), which made checkpoint saves ~100x more expensive than the
+    equivalent dict state.
     """
 
     __slots__ = ("_lines", "ways")
 
     def __init__(self, ways: int) -> None:
         self.ways = ways
-        self._lines: "OrderedDict[int, object]" = OrderedDict()
+        self._lines: Dict[int, object] = {}
 
     def __contains__(self, line: int) -> bool:
         return line in self._lines
@@ -36,7 +42,8 @@ class LRUSet:
         return self._lines.get(line)
 
     def touch(self, line: int) -> None:
-        self._lines.move_to_end(line)
+        lines = self._lines
+        lines[line] = lines.pop(line)
 
     def insert(self, line: int, state) -> None:
         if len(self._lines) >= self.ways:
@@ -44,8 +51,8 @@ class LRUSet:
         self._lines[line] = state
 
     def update(self, line: int, state) -> None:
+        self._lines.pop(line, None)
         self._lines[line] = state
-        self._lines.move_to_end(line)
 
     def remove(self, line: int) -> None:
         del self._lines[line]
@@ -66,13 +73,14 @@ class LRUSet:
         the line had been accessed".  Returns ``None`` when every resident
         line is pinned.
         """
+        lines = self._lines
         skipped = []
         victim = None
-        for line in self._lines:
+        for line in lines:
             if evictable is None or evictable(line):
                 victim = line
                 break
             skipped.append(line)
         for line in skipped:
-            self._lines.move_to_end(line)
+            lines[line] = lines.pop(line)
         return victim

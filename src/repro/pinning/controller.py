@@ -41,7 +41,32 @@ from repro.security.threat import conditions_before_mcv
 
 
 class PinnedLoadsController:
-    """Per-core pinning logic shared by the LP and EP designs."""
+    """Per-core pinning logic shared by the LP and EP designs.
+
+    Quiet/wakeup contract (``Core.quiet_until``): ``tick`` is a pure
+    function of state that only changes through event-mediated or
+    flagged transitions — coherence messages (CPT inserts/clears,
+    invalidations), fills (LP data arrival), retires and squashes
+    (releases, write-buffer and serializing windows), and dispatches
+    (LQ ID allocation).  Every one of those re-arms the core's
+    ``_wake_pending`` flag, so the optimized run loop may skip the
+    controller's tick whenever the flag is clear: rerunning the pin
+    chain on unchanged state denies the same load for the same reason
+    and pins nothing.  Denial statistics are therefore counted per
+    *episode* — once per (load, reason) — never per retry tick, so they
+    are identical whether the chain reruns every cycle (the reference
+    loop) or only on wakeups (the optimized loop).
+    """
+
+    # "__dict__" stays in the slots: the opt-in invariant sanitizer
+    # shadows ``_pin``/``_unpin`` on the instance
+    __slots__ = (
+        "core", "config", "params", "mode", "stats", "cpt",
+        "l1_tag_record", "_lq_id_limit", "_next_lq_id", "_live_lq",
+        "_draining", "_pinned_counts", "pinned_total", "_l1_set_lines",
+        "_dir_set_lines", "_cst_denied_seen", "_denied_reasons",
+        "l1_cst", "dir_cst", "__dict__",
+    )
 
     def __init__(self, core) -> None:
         self.core = core
@@ -66,6 +91,10 @@ class PinnedLoadsController:
         # loads whose CST denial was already counted (a denied pin retries
         # every cycle; stats count denial *episodes*, not retries)
         self._cst_denied_seen: Set[int] = set()
+        # same episode rule for the pin-chain denial reasons, keyed by
+        # LQ ID: retry counts would depend on how often the chain runs,
+        # which the optimized loop deliberately reduces
+        self._denied_reasons: Dict[int, Set[str]] = {}
         self.l1_cst = CacheShadowTable(
             self.params.l1_cst_entries, self.params.l1_cst_records,
             self._live_line_of, infinite=self.params.infinite_cst)
@@ -101,6 +130,7 @@ class PinnedLoadsController:
         if entry.lq_id is not None:
             self._live_lq.pop(entry.lq_id, None)
             self._cst_denied_seen.discard(entry.lq_id)
+            self._denied_reasons.pop(entry.lq_id, None)
         if entry.pinned:
             self._unpin(entry)
 
@@ -190,7 +220,7 @@ class PinnedLoadsController:
         if not conditions_before_mcv(load, ThreatModel.EXCEPT.level, vp):
             return False
         if not vp.serializing.none_below(load.index):
-            self.stats.bump("pin_denied_serializing")
+            self._deny(load, "pin_denied_serializing")
             return False
         # oldest-load exemption: no pin resources needed (§3.3)
         if self.params.aggressive_tso \
@@ -200,17 +230,28 @@ class PinnedLoadsController:
             self.core.note_vp_reached(load)
             return True
         if self.cpt.pinning_blocked:
-            self.stats.bump("pin_denied_cpt_blocked")
+            self._deny(load, "pin_denied_cpt_blocked")
             return False
         if load.line in self.cpt:
-            self.stats.bump("pin_denied_cpt")
+            self._deny(load, "pin_denied_cpt")
             return False
         if not self._write_buffer_ok(load):
-            self.stats.bump("pin_denied_wb")
+            self._deny(load, "pin_denied_wb")
             return False
         if self.mode is PinningMode.EARLY:
             return self._early_pin(load)
         return self._late_pin(load)
+
+    def _deny(self, load: ROBEntry, reason: str) -> None:
+        """Count a pin-chain denial once per (load, reason) episode.  A
+        denied pin retries on every chain run; how often the chain runs
+        is a property of the run *loop* (every cycle under the reference
+        loop, wakeups only under the optimized one), so per-retry counts
+        would not be loop-invariant."""
+        reasons = self._denied_reasons.setdefault(load.lq_id, set())
+        if reason not in reasons:
+            reasons.add(reason)
+            self.stats.bump(reason)
 
     def _write_buffer_ok(self, load: ROBEntry) -> bool:
         """§5.1.2: every yet-to-complete store older than the load must fit

@@ -24,6 +24,13 @@ class CannotPinTable:
     writer can be shut out of the CPT indefinitely.
     """
 
+    # "__dict__" stays in the slots: the opt-in invariant sanitizer
+    # shadows ``insert``/``remove`` on the instance
+    __slots__ = ("capacity", "ideal", "reservation_queue", "_lines",
+                 "_waiting_writers", "_entitled_writers", "_overflowed",
+                 "stats", "_occupancy_sum", "_samples", "max_occupancy",
+                 "__dict__")
+
     def __init__(self, capacity: int = 4, ideal: bool = False,
                  reservation_queue: bool = False) -> None:
         if capacity < 1:

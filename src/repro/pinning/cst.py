@@ -62,6 +62,9 @@ def _hash_line(line: int) -> int:
 class CacheShadowTable:
     """One CST instance (a core has one for L1 and one for the dir/LLC)."""
 
+    __slots__ = ("entries", "records_per_entry", "infinite",
+                 "_live_line_of", "_table", "stats")
+
     def __init__(self, entries: int, records_per_entry: int,
                  live_line_of: LiveLineFn, infinite: bool = False) -> None:
         if entries < 1 or records_per_entry < 1:

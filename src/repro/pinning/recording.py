@@ -43,6 +43,8 @@ class _LineRecord:
 class L1TagPinRecord:
     """Mirror of the L1-tag/MSHR Pinned bits and the LQ YPL bits."""
 
+    __slots__ = ("_lines", "stats")
+
     def __init__(self) -> None:
         self._lines: Dict[int, _LineRecord] = {}
         self.stats = StatSet()

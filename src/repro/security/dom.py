@@ -13,6 +13,8 @@ class DelayOnMissScheme(DefenseScheme):
     full VP wait — the behaviour the paper highlights for bwaves/fotonik3d.
     """
 
+    __slots__ = ()
+
     name = "dom"
 
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:

@@ -11,6 +11,8 @@ class FenceScheme(DefenseScheme):
     fence is removed when the load reaches its VP (paper §3.1).  This is the
     highest-overhead baseline of Table 2."""
 
+    __slots__ = ()
+
     name = "fence"
 
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:

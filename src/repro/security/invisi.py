@@ -29,6 +29,8 @@ from repro.security.scheme import DefenseScheme, IssueMode
 class InvisibleSpecScheme(DefenseScheme):
     """Pre-VP loads issue invisibly and validate at their VP."""
 
+    __slots__ = ()
+
     name = "invisi"
 
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:

@@ -25,6 +25,8 @@ class IssueMode(enum.Enum):
 class DefenseScheme:
     """Base class; the default is fully permissive (no protection)."""
 
+    __slots__ = ("core",)
+
     name = "base"
     #: If False, the core skips VP bookkeeping for issue decisions entirely
     #: (the Unsafe baseline issues loads whenever their operands are ready).

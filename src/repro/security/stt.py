@@ -12,6 +12,8 @@ class STTScheme(DefenseScheme):
     when the producing load reaches its VP — which is exactly the event
     Pinned Loads accelerates (paper §3.1)."""
 
+    __slots__ = ()
+
     name = "stt"
 
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:

@@ -9,6 +9,16 @@ We track, per uop, the set of *root loads* in its dataflow backward slice
 (``output_roots``).  A value is currently tainted iff any of its root loads
 is still in flight and pre-VP, so untaint-on-VP is a O(roots) liveness check
 at query time instead of an eager broadcast.
+
+Quiet/wakeup contract (``Core.quiet_until``): taint has no per-cycle
+machinery of its own — ``addr_tainted`` is a pure function of the root
+maps and of each root's (vp_cycle, ROB residency) state.  Roots are
+written at dispatch and their liveness flips only at VP marking, retire,
+or squash; each of those re-arms the core's ``_wake_pending`` flag, and
+taint-driven untainting *propagates* through the VP frontier walk the
+marking triggers.  A quiet STT core therefore needs no taint ticks: the
+answer to every ``addr_tainted`` query is frozen until the next flagged
+mutation or event.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ _EMPTY: FrozenSet[int] = frozenset()
 
 class TaintTracker:
     """Per-core STT taint state."""
+
+    __slots__ = ("_rob", "_output_roots")
 
     def __init__(self, rob: ReorderBuffer) -> None:
         self._rob = rob

@@ -31,6 +31,9 @@ class VPState:
       may be pinned past one (paper §5).
     """
 
+    __slots__ = ("unresolved_branches", "unknown_addr_stores",
+                 "unknown_addr_memops", "unretired_loads", "serializing")
+
     def __init__(self) -> None:
         self.unresolved_branches = LazyMinSet()
         self.unknown_addr_stores = LazyMinSet()

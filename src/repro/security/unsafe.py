@@ -13,6 +13,8 @@ class UnsafeScheme(DefenseScheme):
     invalidations and evictions — it just never *stalls* a speculative load.
     """
 
+    __slots__ = ()
+
     name = "unsafe"
     gates_issue = False
 

@@ -24,14 +24,17 @@ waivers on the timing lines.
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
+import pstats
 import subprocess
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.params import DefenseKind, SystemConfig, ThreatModel
+from repro.common.stats import geomean
 from repro.sim.executor import Executor, ResultStore, Task
 from repro.sim.runner import ExperimentCache, scheme_grid
 from repro.sim.system import System
@@ -39,6 +42,14 @@ from repro.workloads import spec17_workload
 
 DEFAULT_APPS = ("leela_r", "bwaves_r", "mcf_r", "namd_r")
 DEFAULT_SCHEMES = ("unsafe", "fence-ep", "dom-ep", "stt-ep")
+
+#: Default hot-loop matrix: the schemes the paper actually measures —
+#: the three defenses under the comprehensive model, plus Late/Early
+#: Pinning, plus the unsafe baseline as the floor.  The defended
+#: geomean in the record covers every label except ``unsafe``.
+DEFAULT_HOT_SCHEMES = ("unsafe", "fence-comp", "dom-comp", "stt-comp",
+                       "fence-lp", "fence-ep")
+DEFAULT_HOT_APPS = ("mcf_r",)
 
 
 def scheme_config(label: str, base: Optional[SystemConfig] = None,
@@ -84,8 +95,26 @@ def _time_loop(config: SystemConfig, workload, reference: bool,
     return best
 
 
+def _assert_loop_parity(ref: System, opt: System, what: str) -> None:
+    """Optimized/reference runs must agree on cycles *and* every
+    per-core statistic (pipeline and pinning): the fast-forward is only
+    allowed to skip provably dead cycles."""
+    if opt.cycles != ref.cycles:
+        raise AssertionError(
+            f"{what}: optimized loop diverged: "
+            f"{opt.cycles} != {ref.cycles}")
+    for rc, oc in zip(ref.cores, opt.cores):
+        if oc.stats.as_dict() != rc.stats.as_dict():
+            raise AssertionError(
+                f"{what}: core {oc.core_id} stats diverge")
+        if oc.controller.stats.as_dict() != rc.controller.stats.as_dict():
+            raise AssertionError(
+                f"{what}: core {oc.core_id} pinning stats diverge")
+
+
 def _hot_loop_phase(config: SystemConfig, workload,
-                    repeats: int = 3) -> Dict[str, object]:
+                    repeats: int = 3,
+                    what: str = "hot_loop") -> Dict[str, object]:
     """Time the optimized run loop against the reference loop."""
     ref = System(config, workload)
     ref.mem.warm(workload)
@@ -93,9 +122,7 @@ def _hot_loop_phase(config: SystemConfig, workload,
     opt = System(config, workload)
     opt.mem.warm(workload)
     opt_cycles = opt.run()
-    if opt_cycles != ref_cycles:
-        raise AssertionError(
-            f"optimized loop diverged: {opt_cycles} != {ref_cycles}")
+    _assert_loop_parity(ref, opt, what)
     # interleave the timed repeats so drift hits both loops equally
     ref_seconds = opt_seconds = float("inf")
     for _ in range(repeats):
@@ -106,12 +133,82 @@ def _hot_loop_phase(config: SystemConfig, workload,
     return {
         "workload": workload.name,
         "cycles": opt_cycles,
+        "reference_cycles": ref_cycles,
         "repeats": repeats,
         "reference_seconds": round(ref_seconds, 4),
         "optimized_seconds": round(opt_seconds, 4),
         "speedup": round(ref_seconds / max(opt_seconds, 1e-9), 3),
         "cycles_per_second": round(opt_cycles / max(opt_seconds, 1e-9)),
     }
+
+
+def hot_loop_matrix(hot_apps: List[str], hot_schemes: List[str],
+                    instructions: int,
+                    repeats: int = 3) -> Dict[str, object]:
+    """Time ``System.run`` against ``System.run_reference`` for every
+    (scheme, app) cell, asserting bit-identical cycle counts and
+    per-core stats per cell, and summarize per-scheme + defended-scheme
+    geomean speedups.  ``unsafe`` is reported but excluded from the
+    defended geomean."""
+    workloads = {app: spec17_workload(app, instructions=instructions)
+                 for app in hot_apps}
+    per_scheme: Dict[str, object] = {}
+    defended_speedups: List[float] = []
+    for label in hot_schemes:
+        config = scheme_config(label)
+        cells = {app: _hot_loop_phase(config, workloads[app], repeats,
+                                      what=f"hot_loop[{label}:{app}]")
+                 for app in hot_apps}
+        speedup = round(geomean(cell["speedup"]
+                               for cell in cells.values()), 3)
+        per_scheme[label] = {"apps": cells, "speedup": speedup}
+        if label != "unsafe":
+            defended_speedups.append(speedup)
+    matrix: Dict[str, object] = {
+        "apps": list(hot_apps),
+        "schemes": list(hot_schemes),
+        "instructions_per_app": instructions,
+        "parity": "cycles+core_stats+pinning_stats",
+        "per_scheme": per_scheme,
+    }
+    if defended_speedups:
+        matrix["defended_geomean_speedup"] = round(
+            geomean(defended_speedups), 3)
+    return matrix
+
+
+def _top_hotspots(profile: cProfile.Profile,
+                  limit: int = 20) -> List[Dict[str, object]]:
+    """The ``limit`` hottest functions by cumulative time, JSON-ready."""
+    stats = pstats.Stats(profile)
+    rows: List[Tuple[float, Dict[str, object]]] = []
+    for (path, line, func), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():    # type: ignore[attr-defined]
+        rows.append((ct, {
+            "function": f"{os.path.basename(path)}:{line}:{func}",
+            "calls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        }))
+    rows.sort(key=lambda row: (-row[0], row[1]["function"]))
+    return [row[1] for row in rows[:limit]]
+
+
+def _run_phase(name: str, fn: Callable[[], object],
+               profiles: Optional[Dict[str, object]]) -> object:
+    """Run one bench phase, under cProfile when ``profiles`` is given
+    (``--profile``); the top-20 cumulative hotspots land in the record
+    so future perf work starts from measurements, not guesses."""
+    if profiles is None:
+        return fn()
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn()
+    finally:
+        profile.disable()
+    profiles[name] = _top_hotspots(profile)
+    return result
 
 
 #: Timed in a subprocess against each source tree by ``--baseline-src``;
@@ -193,8 +290,21 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
               jobs: int, cache_dir: str,
               timeout_s: Optional[float] = None,
               run_serial: bool = True,
-              baseline_src: Optional[str] = None) -> Dict[str, object]:
-    """Run every benchmark phase; returns the JSON-ready record."""
+              baseline_src: Optional[str] = None,
+              hot_apps: Optional[List[str]] = None,
+              hot_schemes: Optional[List[str]] = None,
+              profile: bool = False) -> Dict[str, object]:
+    """Run every benchmark phase; returns the JSON-ready record.
+
+    ``hot_apps``/``hot_schemes`` select the hot-loop matrix (defaults:
+    ``DEFAULT_HOT_APPS`` x ``DEFAULT_HOT_SCHEMES``) — the workload and
+    scheme sets are recorded in the output so the speedup numbers are
+    self-describing.  ``profile`` wraps each phase in ``cProfile`` and
+    stores the top-20 cumulative hotspots under ``record["profile"]``.
+    """
+    hot_apps = list(hot_apps if hot_apps is not None else DEFAULT_HOT_APPS)
+    hot_schemes = list(hot_schemes if hot_schemes is not None
+                       else DEFAULT_HOT_SCHEMES)
     workloads = {app: spec17_workload(app, instructions=instructions)
                  for app in apps}
     configs = {label: scheme_config(label) for label in schemes}
@@ -210,12 +320,16 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
         "instructions_per_app": instructions,
         "tasks": len(tasks),
     }
+    profiles: Optional[Dict[str, object]] = {} if profile else None
 
     serial_results = None
     if run_serial:
         t0 = time.perf_counter()     # repro: allow-wall-clock
-        serial = Executor(jobs=1, timeout_s=timeout_s).run_tasks(
-            tasks, cache=ExperimentCache())
+        serial = _run_phase(
+            "serial",
+            lambda: Executor(jobs=1, timeout_s=timeout_s).run_tasks(
+                tasks, cache=ExperimentCache()),
+            profiles)
         seconds = time.perf_counter() - t0     # repro: allow-wall-clock
         if serial.failures:
             raise RuntimeError(f"serial phase failed: {serial.failures}")
@@ -226,8 +340,11 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
     store = ResultStore(cache_dir)
     cold_cache = ExperimentCache(store=store)
     t0 = time.perf_counter()     # repro: allow-wall-clock
-    cold = Executor(jobs=jobs, timeout_s=timeout_s).run_tasks(
-        tasks, cache=cold_cache)
+    cold = _run_phase(
+        "parallel_cold",
+        lambda: Executor(jobs=jobs, timeout_s=timeout_s).run_tasks(
+            tasks, cache=cold_cache),
+        profiles)
     seconds = time.perf_counter() - t0     # repro: allow-wall-clock
     if cold.failures:
         raise RuntimeError(f"parallel phase failed: {cold.failures}")
@@ -244,8 +361,11 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
 
     warm_cache = ExperimentCache(store=store)   # fresh memo, same disk
     t0 = time.perf_counter()     # repro: allow-wall-clock
-    warm = Executor(jobs=jobs, timeout_s=timeout_s).run_tasks(
-        tasks, cache=warm_cache)
+    warm = _run_phase(
+        "warm",
+        lambda: Executor(jobs=jobs, timeout_s=timeout_s).run_tasks(
+            tasks, cache=warm_cache),
+        profiles)
     seconds = time.perf_counter() - t0     # repro: allow-wall-clock
     if warm.failures:
         raise RuntimeError(f"warm phase failed: {warm.failures}")
@@ -255,14 +375,15 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
                       "store_hits": warm_cache.store_hits}
     _assert_identical(cold.results, warm.results, "cold vs warm")
 
-    # the memory-bound app is where idle-cycle skipping matters; fall
-    # back to the first app if the default pick isn't in the batch
-    hot_app = "mcf_r" if "mcf_r" in workloads else apps[0]
-    record["hot_loop"] = _hot_loop_phase(configs[schemes[0]],
-                                         workloads[hot_app])
+    record["hot_loop"] = _run_phase(
+        "hot_loop",
+        lambda: hot_loop_matrix(hot_apps, hot_schemes, instructions),
+        profiles)
     if baseline_src is not None:
         record["hot_loop_vs_baseline"] = baseline_comparison(
             baseline_src, list(apps), instructions)
+    if profiles is not None:
+        record["profile"] = profiles
     return record
 
 

@@ -34,7 +34,11 @@ from repro.common.errors import CheckpointError
 
 #: Bump whenever simulator state layout changes incompatibly; resuming
 #: from an old checkpoint then fails loudly instead of corrupting a run.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Bumped to 2 when the core grew event-driven wakeup state
+#: (``_vp_frontier``, ``_wake_pending``, ``_waiting_stalled``) and the
+#: pinning controller its episode-denial map: checkpoints taken before
+#: that change would unpickle into cores missing those attributes.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 def snapshot_system(system) -> bytes:

@@ -268,8 +268,13 @@ class ExecutorOutcome:
         return self.results[label]
 
 
-class _TaskTimeout(Exception):
-    pass
+class _TaskTimeout(BaseException):
+    """Raised by the SIGALRM handler when a task's wall-clock budget is
+    spent.  Derives from ``BaseException`` so the broad ``except
+    Exception`` isolation layers the alarm may interrupt — e.g. the
+    pickle wrapper in ``snapshot_system``, whose checkpoint can be
+    mid-write when the alarm fires — cannot swallow it into a
+    non-retryable error; only ``_run_task`` catches it, as a timeout."""
 
 
 def _alarm_handler(_signum, _frame):

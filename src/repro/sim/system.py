@@ -100,9 +100,11 @@ class System:
           every remaining cycle;
         * when every live core reports (``Core.quiet_until``) that its
           next ticks are provably no-ops — typically all cores stalled
-          on outstanding memory misses — the loop fast-forwards the
-          cycle counter to the next pending event instead of ticking
-          through the dead cycles one by one.
+          on outstanding memory misses, or defended cores whose VP /
+          taint / pinning machinery is at a fixpoint (the
+          ``_wake_pending`` contract in ``Core.quiet_until``) — the
+          loop fast-forwards the cycle counter to the next pending
+          event instead of ticking through the dead cycles one by one.
 
         ``run_reference`` preserves the original per-cycle structure and
         must produce bit-identical cycle counts (asserted by the tests;

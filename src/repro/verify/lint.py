@@ -68,8 +68,11 @@ SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
 
 #: Packages whose classes live on the per-cycle path: every simulated
 #: cycle allocates/touches their instances, so they must declare
-#: ``__slots__`` (rule ``hot-path-slots``).
-HOT_PATH_PACKAGES = {"core", "mem"}
+#: ``__slots__`` (rule ``hot-path-slots``).  ``pinning`` and
+#: ``security`` joined when the defense machinery moved onto the
+#: event-driven wakeup path (the pin chain and VP walk run on every
+#: non-skipped tick of a defended core).
+HOT_PATH_PACKAGES = {"core", "mem", "pinning", "security"}
 
 #: Base classes that exempt a class from ``hot-path-slots``: enums and
 #: exceptions are not per-cycle objects, and Protocol/ABC-style bases
@@ -128,7 +131,7 @@ class _SetRegistry:
 
     Inference is by bare name, so an attribute name annotated ``Set[...]``
     in one class and something else in another (e.g. ``_lines`` is a set in
-    ``CannotPinTable`` but an ``OrderedDict`` in ``LRUSet``) is ambiguous
+    ``CannotPinTable`` but an LRU-ordered dict in ``LRUSet``) is ambiguous
     and deliberately dropped — a false negative beats telling someone to
     ``sorted()`` an order-bearing container.
     """

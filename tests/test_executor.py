@@ -231,9 +231,10 @@ class TestFailureIsolation:
     def test_deadlocked_task_times_out(self, jobs):
         # thread 0 waits on a barrier thread 1 never reaches; with the
         # deadlock detector effectively disabled the simulation spins
-        # ~forever, so only the per-task timeout can reclaim it.  The
-        # pinning controller keeps the core un-quiet, so the run loop's
-        # fast-forward cannot short-circuit the spin.
+        # ~forever, so only the per-task timeout can reclaim it.  Run
+        # sanitized: sanitized runs never fast-forward (every invariant
+        # check sees every cycle), so the spin is real and cannot be
+        # short-circuited into a max_cycles DeadlockError.
         t0 = Trace([MicroOp(0, OpClass.BARRIER, barrier_id=0)], "t0")
         t1 = Trace([MicroOp(0, OpClass.INT_ALU)], "t1")
         hung = Workload([t0, t1], name="hung")
@@ -241,7 +242,7 @@ class TestFailureIsolation:
         config = dataclasses.replace(
             SystemConfig(num_cores=2).with_defense(
                 DefenseKind.FENCE, COMPREHENSIVE, PinningMode.EARLY),
-            deadlock_cycles=10**9)
+            deadlock_cycles=10**9, sanitize=True)
         tasks = [Task("hung", config, hung, timeout_s=1),
                  Task("good", BASE, small_workload())]
         outcome = Executor(jobs=jobs).run_tasks(tasks)
@@ -262,9 +263,24 @@ class TestSweepWithExecutor:
         assert serial == parallel
 
 
+def _grid_configs():
+    """Every scheme the fast-forward must stay bit-exact for: the
+    unsafe baseline plus each ``scheme_grid`` cell (fence/DOM/STT x
+    Comp/LP/EP/Spectre)."""
+    from repro.sim.runner import scheme_grid
+    labeled = [("unsafe", BASE)]
+    for label, (defense, threat, pinning) in sorted(scheme_grid().items()):
+        labeled.append((label,
+                        BASE.with_defense(defense, threat, pinning)))
+    return labeled
+
+
+_GRID = _grid_configs()
+
+
 class TestOptimizedRunLoop:
-    @pytest.mark.parametrize("config", [BASE, FENCE_EP], ids=["unsafe",
-                                                              "fence-ep"])
+    @pytest.mark.parametrize("config", [cfg for _, cfg in _GRID],
+                             ids=[label for label, _ in _GRID])
     def test_run_matches_reference(self, config):
         wl = small_workload(instructions=400)
         opt = System(config, wl)
@@ -274,6 +290,8 @@ class TestOptimizedRunLoop:
         assert opt.run() == ref.run_reference()
         for a, b in zip(opt.cores, ref.cores):
             assert a.stats.as_dict() == b.stats.as_dict()
+            assert a.controller.stats.as_dict() \
+                == b.controller.stats.as_dict()
             assert a.retired == b.retired
 
 
@@ -345,7 +363,8 @@ class TestAlarmLifecycle:
         config = dataclasses.replace(
             SystemConfig(num_cores=2).with_defense(
                 DefenseKind.FENCE, COMPREHENSIVE, PinningMode.EARLY),
-            deadlock_cycles=10**9)
+            # sanitized runs never fast-forward, so the spin is real
+            deadlock_cycles=10**9, sanitize=True)
         tasks = [Task("hung", config, _hung_workload(), timeout_s=1),
                  Task("good", BASE, small_workload(), timeout_s=30)]
         outcome = Executor(jobs=1).run_tasks(tasks)
