@@ -26,15 +26,13 @@ bit-identical results (``repro.sim.checkpoint``).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import InvariantViolation
+from repro.common.errors import InvariantViolation, JobFailedError
 from repro.common.params import ChaosConfig, SystemConfig
 from repro.isa.trace import Workload
 from repro.sim.results import SimResult
-from repro.sim.runner import run_simulation, scheme_grid
-from repro.workloads import (PARALLEL_NAMES, SPEC17_NAMES,
-                             parallel_workload, spec17_workload)
+from repro.sim.runner import run_simulation
 
 #: Campaign-wide chaos knobs layered over ``ChaosConfig`` defaults: the
 #: write-buffer spike generator is off by default (interval 0) but the
@@ -76,29 +74,6 @@ def _fingerprint_diff(baseline: Dict, other: Dict) -> List[str]:
     return diffs
 
 
-def _base_and_workload(name: str, instructions: int,
-                       threads: int) -> Tuple[SystemConfig, Workload]:
-    if name in SPEC17_NAMES:
-        return SystemConfig(), spec17_workload(name,
-                                               instructions=instructions)
-    if name in PARALLEL_NAMES:
-        workload = parallel_workload(name, num_threads=threads,
-                                     instructions_per_thread=instructions)
-        return SystemConfig(num_cores=threads), workload
-    raise ValueError(f"unknown workload {name!r}")
-
-
-def _scheme_config(base: SystemConfig, scheme: str) -> SystemConfig:
-    if scheme == "unsafe":
-        return base
-    grid = scheme_grid()
-    if scheme not in grid:
-        raise ValueError(f"unknown scheme {scheme!r}; choose 'unsafe' or "
-                         f"one of {sorted(grid)}")
-    defense, threat, pin = grid[scheme]
-    return base.with_defense(defense, threat, pin)
-
-
 def _chaos_config(seed: int, overrides: Optional[Dict]) -> ChaosConfig:
     knobs = dict(CAMPAIGN_CHAOS_DEFAULTS)
     if overrides:
@@ -106,15 +81,75 @@ def _chaos_config(seed: int, overrides: Optional[Dict]) -> ChaosConfig:
     return ChaosConfig(seed=seed, **knobs)
 
 
-def _run_cell(base: SystemConfig, workload: Workload, scheme: str,
+#: A cell runner maps (workload, scheme, sanitize, chaos knobs or None)
+#: to a ``SimResult``, raising ``InvariantViolation`` when the
+#: sanitizer trips.  The local runner simulates in-process; the service
+#: runner submits the same cell as a bulk-priority job to a running
+#: ``repro serve`` instance.
+CellRunner = Callable[[str, str, bool, Optional[Dict]], SimResult]
+
+
+def _local_runner(instructions: int, threads: int) -> CellRunner:
+    from repro.service.jobs import build_cell
+    cells: Dict[Tuple[str, str], Tuple[SystemConfig, Workload]] = {}
+
+    def run(name: str, scheme: str, sanitize: bool,
+            chaos: Optional[Dict]) -> SimResult:
+        cell = cells.get((name, scheme))
+        if cell is None:
+            cell = cells[(name, scheme)] = build_cell(
+                name, instructions, threads, scheme)
+        config, workload = cell
+        replacements: Dict = {}
+        if sanitize:
+            replacements["sanitize"] = True
+        if chaos is not None:
+            replacements["chaos"] = ChaosConfig(**chaos)
+        if replacements:
+            config = dataclasses.replace(config, **replacements)
+        return run_simulation(config, workload)
+
+    return run
+
+
+def _service_runner(service_url: str, instructions: int, threads: int,
+                    timeout_s: float = 600.0) -> CellRunner:
+    """Run campaign cells through a live job service.
+
+    Exercises the whole stack — admission, journal, executor — with the
+    campaign's own cells at bulk priority (interactive submissions keep
+    overtaking them).  A sanitizer trip inside the service surfaces as
+    a failed job whose message carries the ``InvariantViolation`` text;
+    it is re-raised here so campaign accounting is identical either way.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.jobs import PRIORITY_BULK, JobSpec
+    client = ServiceClient(service_url)
+
+    def run(name: str, scheme: str, sanitize: bool,
+            chaos: Optional[Dict]) -> SimResult:
+        spec = JobSpec(workload=name, scheme=scheme,
+                       instructions=instructions, threads=threads,
+                       sanitize=sanitize, chaos=chaos,
+                       priority=PRIORITY_BULK)
+        try:
+            return client.run(spec, timeout_s=timeout_s)
+        except JobFailedError as err:
+            message = str(err)
+            if "InvariantViolation" in message:
+                raise InvariantViolation("service-cell", message)
+            raise
+
+    return run
+
+
+def _run_cell(runner: CellRunner, name: str, scheme: str,
               seeds: int, overrides: Optional[Dict]) -> Dict:
     """One (workload, scheme) cell: sanitized baseline + N chaos seeds."""
-    config = _scheme_config(base, scheme)
-    baseline_config = dataclasses.replace(config, sanitize=True)
-    baseline = run_simulation(baseline_config, workload)
+    baseline = runner(name, scheme, True, None)
     expected = architectural_fingerprint(baseline)
     cell = {
-        "workload": workload.name,
+        "workload": baseline.workload_name,
         "scheme": scheme,
         "baseline_cycles": baseline.cycles,
         "seed_runs": [],
@@ -122,10 +157,9 @@ def _run_cell(base: SystemConfig, workload: Workload, scheme: str,
         "violations": [],
     }
     for seed in range(seeds):
-        chaos_config = dataclasses.replace(
-            config, sanitize=True, chaos=_chaos_config(seed, overrides))
+        chaos_doc = dataclasses.asdict(_chaos_config(seed, overrides))
         try:
-            result = run_simulation(chaos_config, workload)
+            result = runner(name, scheme, True, chaos_doc)
         except InvariantViolation as violation:
             cell["violations"].append(
                 {"seed": seed, "violation": str(violation)[:500]})
@@ -146,8 +180,7 @@ def _run_cell(base: SystemConfig, workload: Workload, scheme: str,
     return cell
 
 
-def _run_self_test(base: SystemConfig, workload: Workload,
-                   scheme: str) -> Dict:
+def _run_self_test(runner: CellRunner, name: str, scheme: str) -> Dict:
     """Campaign self-test: the ``evict-pinned`` mutant MUST be caught.
 
     Forced evictions are allowed (forced, even: every tick targets a
@@ -155,30 +188,34 @@ def _run_self_test(base: SystemConfig, workload: Workload,
     pin-safety guarantee; if the sanitizer stays silent the campaign has
     no teeth and the self-test fails.
     """
-    config = _scheme_config(base, scheme)
     mutant = ChaosConfig(seed=0, evict_interval=5, msg_jitter=0,
                          msg_jitter_prob=0.0, nack_prob=0.0,
                          mutate="evict-pinned")
-    config = dataclasses.replace(config, sanitize=True, chaos=mutant)
     try:
-        run_simulation(config, workload)
+        runner(name, scheme, True, dataclasses.asdict(mutant))
     except InvariantViolation as violation:
         return {"scheme": scheme, "detected": True,
                 "violation": str(violation)[:500]}
     return {"scheme": scheme, "detected": False}
 
 
-def _checkpoint_equivalence(base: SystemConfig, workload: Workload,
-                            scheme: str, overrides: Optional[Dict]) -> Dict:
+def _checkpoint_equivalence(name: str, scheme: str, instructions: int,
+                            threads: int,
+                            overrides: Optional[Dict]) -> Dict:
     """Mid-run snapshot/restore of a chaos run must not change anything:
     the resumed run's full result document is compared bit-for-bit
-    against an uninterrupted run of the same configuration."""
+    against an uninterrupted run of the same configuration.
+
+    Always runs in-process (even when the campaign's cells go through a
+    service): it needs live ``System`` objects to snapshot mid-run.
+    """
+    from repro.service.jobs import build_cell
     from repro.sim.checkpoint import restore_system, snapshot_system
     from repro.sim.runner import collect_result
     from repro.sim.system import System
+    base, workload = build_cell(name, instructions, threads, scheme)
     config = dataclasses.replace(
-        _scheme_config(base, scheme), sanitize=False,
-        chaos=_chaos_config(0, overrides))
+        base, sanitize=False, chaos=_chaos_config(0, overrides))
     reference = System(config, workload)
     reference.mem.warm(workload)
     reference.run()
@@ -198,22 +235,34 @@ def run_campaign(workload_names: List[str], scheme_names: List[str],
                  seeds: int = 5, instructions: int = 3000,
                  threads: int = 4, chaos_overrides: Optional[Dict] = None,
                  self_test: bool = True,
-                 checkpoint_check: bool = True) -> Dict:
+                 checkpoint_check: bool = True,
+                 service_url: Optional[str] = None) -> Dict:
     """Run the full campaign; returns a JSON-serializable report whose
-    ``passed`` field is the overall verdict."""
+    ``passed`` field is the overall verdict.
+
+    With ``service_url`` the campaign's cells are submitted as
+    bulk-priority jobs to a running ``repro serve`` instance instead of
+    simulating in-process, exercising admission control, the journal,
+    and the executor end to end.  The checkpoint-equivalence check still
+    runs locally (it snapshots live ``System`` objects mid-run).
+    """
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
+    if service_url:
+        runner = _service_runner(service_url, instructions, threads)
+    else:
+        runner = _local_runner(instructions, threads)
     cells = []
     for name in workload_names:
-        base, workload = _base_and_workload(name, instructions, threads)
         for scheme in scheme_names:
-            cells.append(_run_cell(base, workload, scheme, seeds,
+            cells.append(_run_cell(runner, name, scheme, seeds,
                                    chaos_overrides))
     report: Dict = {
         "seeds": seeds,
         "instructions": instructions,
         "workloads": list(workload_names),
         "schemes": list(scheme_names),
+        "service_url": service_url,
         "cells": cells,
         "self_test": None,
         "checkpoint_check": None,
@@ -223,15 +272,13 @@ def run_campaign(workload_names: List[str], scheme_names: List[str],
     # forced-eviction tick lands on the one core doing the pinning
     pinning = [s for s in scheme_names if s.endswith(("-lp", "-ep"))]
     if self_test and pinning:
-        name = workload_names[0]
-        base, workload = _base_and_workload(name, instructions, threads)
-        report["self_test"] = _run_self_test(base, workload, pinning[0])
+        report["self_test"] = _run_self_test(
+            runner, workload_names[0], pinning[0])
     if checkpoint_check:
-        name = workload_names[0]
-        base, workload = _base_and_workload(name, instructions, threads)
         scheme = pinning[0] if pinning else scheme_names[0]
         report["checkpoint_check"] = _checkpoint_equivalence(
-            base, workload, scheme, chaos_overrides)
+            workload_names[0], scheme, instructions, threads,
+            chaos_overrides)
     failures: List[str] = []
     for cell in cells:
         label = f"{cell['workload']}/{cell['scheme']}"

@@ -66,6 +66,8 @@ class ChaosEngine:
             events.schedule(cfg.crash_at_cycle, self._maybe_crash)
         if cfg.stall_at_cycle is not None:
             events.schedule(cfg.stall_at_cycle, self._maybe_stall)
+        if cfg.alloc_at_cycle is not None:
+            events.schedule(cfg.alloc_at_cycle, self._maybe_alloc)
 
     # ------------------------------------------------------------------
     # Hooks consulted by the memory system
@@ -210,3 +212,18 @@ class ChaosEngine:
         if attempt is None or attempt > self.config.stall_attempts:
             return
         time.sleep(self.config.stall_seconds)
+
+    def _maybe_alloc(self) -> None:
+        """Model a runaway simulation: allocate ``alloc_mb`` MiB and keep
+        it live.  Under an executor worker memory ceiling
+        (``Executor(worker_memory_mb=...)``) this raises ``MemoryError``
+        inside the worker, which the executor maps to a retryable "oom"
+        task failure — the host is never the OOM victim."""
+        attempt = self._worker_attempt()
+        if attempt is None or attempt > self.config.alloc_attempts:
+            return
+        # the allocation is transient (never stored on the engine, so it
+        # can never leak into a checkpoint pickle): address space must be
+        # committed at construction, which is where RLIMIT_AS bites
+        ballast = bytearray(self.config.alloc_mb << 20)
+        del ballast

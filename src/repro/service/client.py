@@ -1,0 +1,162 @@
+"""HTTP client for the job service, with taxonomy-aware retries.
+
+``ServiceClient`` speaks the error taxonomy documented in
+``repro.common.errors``: transient conditions (connection refused while
+the service restarts, 429 backpressure, 503 drain/reject) are retried
+with capped exponential backoff plus deterministic jitter, always
+honoring the server's ``retry_after_s`` hint when one is present;
+permanent conditions (400 bad spec, 404, job failures) surface
+immediately as the matching ``ServiceError`` subclass.
+
+Jitter is drawn from a client-owned seeded ``random.Random`` — never
+the global RNG — so client behaviour in tests is reproducible and the
+simulator's determinism lint stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.common.errors import (DrainingError, JobFailedError,
+                                 QueueFullError, RejectingError,
+                                 ServiceError)
+from repro.service.jobs import JobSpec
+from repro.sim.results import SimResult
+
+#: Errors worth retrying: the condition is expected to clear.
+_TRANSIENT = (QueueFullError, RejectingError, DrainingError)
+
+
+class ServiceClient:
+    """Thin, retrying client for one service endpoint."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8321",
+                 retries: int = 8, backoff_s: float = 0.1,
+                 backoff_cap_s: float = 5.0,
+                 jitter_seed: int = 0,
+                 timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.timeout_s = timeout_s
+        self._rng = random.Random(jitter_seed)
+
+    # -- transport -----------------------------------------------------
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as err:
+            payload = err.read().decode(errors="replace")
+            try:
+                doc = json.loads(payload).get("error", {})
+            except ValueError:
+                doc = {"code": "internal",
+                       "message": f"HTTP {err.code}: {payload[:200]}"}
+            raise ServiceError.from_doc(doc) from None
+        except urllib.error.URLError as err:
+            raise ConnectionError(
+                f"{method} {path}: {err.reason}") from err
+
+    def _delay(self, attempt: int,
+               retry_after_s: Optional[float]) -> float:
+        backoff = min(self.backoff_cap_s,
+                      self.backoff_s * (2 ** attempt))
+        # full jitter (deterministic RNG): desynchronizes a fleet of
+        # clients hammering a freshly restarted service
+        delay = backoff * (0.5 + 0.5 * self._rng.random())
+        if retry_after_s is not None:
+            delay = max(delay, float(retry_after_s))
+        return delay
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except _TRANSIENT as err:
+                if attempt >= self.retries:
+                    raise
+                delay = self._delay(attempt, err.retry_after_s)
+            except ConnectionError:
+                if attempt >= self.retries:
+                    raise
+                delay = self._delay(attempt, None)
+            attempt += 1
+            time.sleep(delay)
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        return self._request("POST", "/jobs", spec.to_doc())
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/drain", {})
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches ``done`` or ``failed``.
+
+        Raises ``JobFailedError`` on failure and ``TimeoutError`` if the
+        deadline passes first.  Polling survives a service restart
+        mid-job: connection errors inside ``_request`` retry, and the
+        replayed job keeps its id.
+        """
+        deadline = time.monotonic() + timeout_s  # repro: allow-wall-clock
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] == "done":
+                return doc
+            if doc["status"] == "failed":
+                failure = doc.get("failure", {})
+                raise JobFailedError(
+                    f"job {job_id[:16]} failed "
+                    f"({failure.get('kind', 'error')}): "
+                    f"{failure.get('message', '')}")
+            if time.monotonic() >= deadline:  # repro: allow-wall-clock
+                raise TimeoutError(
+                    f"job {job_id[:16]} still {doc['status']} after "
+                    f"{timeout_s}s")
+            time.sleep(poll_s)
+
+    def run(self, spec: JobSpec,
+            timeout_s: float = 120.0) -> SimResult:
+        """Submit + wait + decode: the service-side equivalent of
+        ``run_simulation(config, workload)``, idempotent and
+        crash-tolerant."""
+        doc = self.submit(spec)
+        job_id = doc["job"]
+        if doc["status"] != "done":
+            doc = self.wait(job_id, timeout_s=timeout_s)
+        if "result" not in doc:
+            doc = self.job(job_id)
+        if "result" not in doc:
+            raise JobFailedError(f"job {job_id[:16]} is done but its "
+                                 f"result is missing from the store")
+        return SimResult.from_dict(doc["result"])

@@ -1,0 +1,241 @@
+"""Append-only, checksummed write-ahead journal for the job service.
+
+Every job transition (``submitted → running → done/failed``, plus
+``requeued`` for drained/interrupted jobs) is one JSON line, written
+*before* the transition takes effect (write-ahead), flushed and —
+by default — fsynced, so a ``kill -9`` of the service at any moment
+loses at most the line being written.  On restart, ``replay()`` +
+``reduce_records()`` rebuild the exact queue/running/done state and the
+supervisor resumes the unfinished jobs; completed work is never redone
+because results live in the content-addressed ``ResultStore`` keyed by
+the same job id.
+
+Wire format — one record per line, canonical JSON with sorted keys:
+
+    {"data": {...}, "job": "<job id>", "seq": N, "sum": "<sha256-16>",
+     "type": "submitted", "v": 1}
+
+``sum`` is the first 16 hex digits of sha256 over the canonical JSON of
+the record *without* the ``sum`` field.  Torn tails are expected (a
+crash mid-``write``) and tolerated: an undecodable or checksum-failing
+**final** line is dropped with a warning.  The same damage anywhere
+*earlier* means the file was corrupted after the fact (bit rot, manual
+edits, two services sharing one journal) and raises ``JournalError`` —
+replaying around a hole could resurrect a finished job or drop a
+pending one, and the journal refuses to guess.
+
+``compact()`` atomically (temp file + ``os.replace``) rewrites the
+journal as one ``snapshot`` record per live job, bounding replay time
+and file size; the supervisor compacts on startup after a successful
+replay and periodically while running.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import JournalError
+
+_log = logging.getLogger(__name__)
+
+JOURNAL_FORMAT_VERSION = 1
+
+#: Record types, in the order a job normally experiences them.
+RECORD_TYPES = ("submitted", "running", "requeued", "done", "failed",
+                "snapshot")
+
+
+def _record_checksum(record: Dict[str, Any]) -> str:
+    body = {k: v for k, v in record.items() if k != "sum"}
+    text = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def encode_record(seq: int, rtype: str, job_id: str,
+                  data: Optional[Dict[str, Any]] = None) -> str:
+    """One journal line (newline-terminated, checksummed)."""
+    if rtype not in RECORD_TYPES:
+        raise ValueError(f"unknown record type {rtype!r}")
+    record = {"data": data or {}, "job": job_id, "seq": seq,
+              "type": rtype, "v": JOURNAL_FORMAT_VERSION}
+    record["sum"] = _record_checksum(record)
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+def decode_record(line: str) -> Dict[str, Any]:
+    """Parse + verify one journal line; raises ``JournalError``."""
+    try:
+        record = json.loads(line)
+    except ValueError as err:
+        raise JournalError(f"undecodable journal line: {err}") from err
+    if not isinstance(record, dict):
+        raise JournalError(f"journal line is not an object: "
+                           f"{type(record).__name__}")
+    if record.get("v") != JOURNAL_FORMAT_VERSION:
+        raise JournalError(f"journal format {record.get('v')!r} does "
+                           f"not match {JOURNAL_FORMAT_VERSION}")
+    if record.get("type") not in RECORD_TYPES:
+        raise JournalError(f"unknown record type {record.get('type')!r}")
+    if record.get("sum") != _record_checksum(record):
+        raise JournalError(f"journal checksum mismatch on record "
+                           f"seq={record.get('seq')}")
+    return record
+
+
+class Journal:
+    """The service's durable transition log (see module docs)."""
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._fh = None
+        self._seq = 0
+        #: Appends since the last compaction; the supervisor uses this
+        #: to decide when another compaction pays for itself.
+        self.appends_since_compact = 0
+
+    def _open(self):
+        if self._fh is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, rtype: str, job_id: str,
+               data: Optional[Dict[str, Any]] = None) -> int:
+        """Durably append one transition; returns its sequence number."""
+        self._seq += 1
+        line = encode_record(self._seq, rtype, job_id, data)
+        fh = self._open()
+        fh.write(line)
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        self.appends_since_compact += 1
+        return self._seq
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """All valid records, in order; tolerates a torn final line.
+
+        Also fast-forwards the append sequence past the highest replayed
+        ``seq`` so post-replay appends keep the total order.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return records
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(decode_record(line))
+            except JournalError as err:
+                if index == len(lines) - 1:
+                    _log.warning("journal: dropping torn final line "
+                                 "(%s) — expected after a crash "
+                                 "mid-append", err)
+                    break
+                raise JournalError(
+                    f"{self.path}: corrupt record at line {index + 1} "
+                    f"(of {len(lines)}): {err}") from err
+        if records:
+            self._seq = max(self._seq,
+                            max(record["seq"] for record in records))
+        return records
+
+    def compact(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Atomically rewrite the journal as one ``snapshot`` record per
+        job in ``state`` (the ``reduce_records`` output), then reopen
+        for appending.  A crash anywhere during compaction leaves either
+        the old journal or the new one — never a mix."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".journal.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                seq = 0
+                for job_id in sorted(state):
+                    seq += 1
+                    fh.write(encode_record(seq, "snapshot", job_id,
+                                           state[job_id]))
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._seq = len(state)
+        self.appends_since_compact = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def reduce_records(records: List[Dict[str, Any]]
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Fold a record stream into per-job state (the journal's state
+    machine): ``queued → running → done | failed``, with ``requeued``
+    sending a job back to ``queued`` with ``resume=True`` so the next
+    attempt continues from its rolling checkpoint.
+
+    The returned docs are JSON-serializable and are exactly what
+    ``Journal.compact`` snapshots.
+    """
+    state: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        job_id = record["job"]
+        rtype = record["type"]
+        data = record.get("data", {})
+        if rtype == "snapshot":
+            state[job_id] = dict(data)
+            continue
+        if rtype == "submitted":
+            if job_id in state:
+                continue  # idempotent resubmission of a known job
+            state[job_id] = {
+                "status": "queued", "spec": data.get("spec"),
+                "priority": data.get("priority", 0), "attempts": 0,
+                "resume": False,
+            }
+            continue
+        entry = state.get(job_id)
+        if entry is None:
+            # a transition for a job we never saw submitted: the
+            # journal's write-ahead discipline makes this corruption
+            raise JournalError(f"record seq={record['seq']} "
+                               f"({rtype}) for unknown job {job_id}")
+        if rtype == "running":
+            entry["status"] = "running"
+            entry["attempts"] = data.get("attempt",
+                                         entry["attempts"] + 1)
+        elif rtype == "requeued":
+            entry["status"] = "queued"
+            entry["resume"] = True
+            if "checkpoint_cycle" in data:
+                entry["checkpoint_cycle"] = data["checkpoint_cycle"]
+        elif rtype == "done":
+            entry["status"] = "done"
+            entry["resume"] = False
+            if "cycles" in data:
+                entry["cycles"] = data["cycles"]
+        elif rtype == "failed":
+            entry["status"] = "failed"
+            entry["failure"] = {"kind": data.get("kind", "error"),
+                                "message": data.get("message", "")}
+    return state

@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+from typing import Optional
 
 from repro.common.errors import CheckpointError
 
@@ -105,13 +106,22 @@ def load_checkpoint(path: str):
 
 
 def run_with_checkpoints(system, path: str, interval: int,
-                         max_cycles: int = 50_000_000) -> int:
+                         max_cycles: int = 50_000_000,
+                         stop_flag: Optional[str] = None) -> int:
     """Run ``system`` to completion, refreshing a rolling checkpoint at
     ``path`` every ``interval`` simulated cycles; returns total cycles.
 
     The checkpoint always reflects a clean cycle boundary, so a process
     killed at any wall-clock moment can resume from ``path`` and finish
     with bit-identical statistics.
+
+    ``stop_flag`` is the cooperative-drain hook used by the job service
+    (``repro.service``): when a file exists at that path, the loop
+    returns at the next checkpoint boundary *after* writing the rolling
+    checkpoint, leaving ``system.done`` false.  The caller decides what
+    a drained, checkpointed, unfinished system means — the service
+    re-queues the job and a later attempt (possibly in a fresh process)
+    resumes from ``path`` bit-identically.
     """
     if interval < 1:
         raise CheckpointError(f"checkpoint interval must be >= 1, "
@@ -120,4 +130,6 @@ def run_with_checkpoints(system, path: str, interval: int,
         system.run(max_cycles, stop_cycle=system.cycles + interval)
         if not system.done:
             save_checkpoint(system, path)
+            if stop_flag is not None and os.path.exists(stop_flag):
+                break
     return system.cycles

@@ -32,10 +32,16 @@ import logging
 import os
 import signal
 import tempfile
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.common.errors import CheckpointError, DeadlockError
 from repro.common.params import SystemConfig
@@ -68,6 +74,29 @@ CURRENT_ATTEMPT = 1
 def _mark_pool_worker() -> None:
     global IN_POOL_WORKER
     IN_POOL_WORKER = True
+
+
+def _init_pool_worker(memory_mb: Optional[int] = None) -> None:
+    """Pool-worker initializer: mark the process and, when a ceiling is
+    configured, cap its address space with ``RLIMIT_AS`` so a runaway
+    simulation dies as a ``MemoryError`` inside the worker (a retryable
+    "oom" task failure) instead of inviting the kernel OOM killer to
+    shoot the host.  Only ever applied inside pool workers — the serial
+    path shares the caller's process, where a ceiling would be a
+    landmine for the embedding application."""
+    _mark_pool_worker()
+    if memory_mb is None:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    limit = int(memory_mb) << 20
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (OSError, ValueError):  # pragma: no cover - platform refusal
+        _log.warning("executor: cannot apply RLIMIT_AS of %d MiB in "
+                     "worker %d", memory_mb, os.getpid())
 
 
 # canonical config JSON is memoized per config object: sweeps reuse a
@@ -128,53 +157,91 @@ class ResultStore:
     def _path(self, key: str) -> str:
         return os.path.join(self._dir, key[:2], f"{key}.json")
 
+    @contextmanager
+    def _write_lock(self):
+        """Advisory ``flock`` serializing mutations to this store.
+
+        Readers never lock (atomic renames guarantee they only ever see
+        complete entries), but two *processes* sharing one
+        ``REPRO_CACHE_DIR`` can otherwise interleave a ``put`` with a
+        concurrent ``_quarantine`` of the same key: writer A replaces a
+        fresh entry at the exact moment writer B, holding a stale
+        corrupt read, renames that fresh file into ``quarantine/``.
+        Holding the store lock across the read-verdict-to-rename window
+        closes that race.  Falls back to lock-free (pure atomic-rename
+        discipline, still crash-safe) where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(os.path.join(self.root, ".lock"),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing releases the flock
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
+
+    def _read_entry(self, key: str
+                    ) -> Tuple[Optional[SimResult], Optional[str]]:
+        """Read + validate ``key``'s entry: ``(result, corrupt_reason)``.
+        ``(None, None)`` is a plain miss (no file)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except OSError:
+            return None, None
+        except ValueError:
+            return None, "unparseable JSON"
+        if not isinstance(payload, dict) \
+                or payload.get("format") != CACHE_FORMAT_VERSION:
+            return None, "format marker mismatch"
+        if payload.get("checksum") != _result_checksum(
+                payload.get("result", {})):
+            return None, "checksum mismatch"
+        try:
+            return SimResult.from_dict(payload["result"]), None
+        except Exception as err:  # noqa: BLE001 - corrupt data boundary
+            return None, f"undecodable result ({type(err).__name__})"
 
     def _quarantine(self, key: str, reason: str) -> None:
         """Move ``key``'s damaged file into ``<root>/quarantine/``.
 
-        ``os.replace`` makes this once-only under concurrency: whichever
-        process wins the rename logs the warning; everyone else finds
-        the entry gone and treats it as an ordinary miss.
+        Runs under the store write lock and *re-validates* first: with
+        two processes sharing a store, the corrupt bytes this process
+        read may have been atomically replaced by a concurrent writer's
+        good entry between read and rename — quarantining that would
+        evict a valid result.  Re-checking under the lock (which every
+        ``put`` also holds across its rename) makes the rename hit only
+        entries that are still corrupt.
         """
-        src = self._path(key)
-        quarantine_dir = os.path.join(self.root, "quarantine")
-        dst = os.path.join(quarantine_dir, os.path.basename(src))
-        try:
-            os.makedirs(quarantine_dir, exist_ok=True)
-            os.replace(src, dst)
-        except OSError:
-            return
+        with self._write_lock():
+            _result, still_corrupt = self._read_entry(key)
+            if still_corrupt is None:
+                return  # replaced by a good entry (or already gone)
+            src = self._path(key)
+            quarantine_dir = os.path.join(self.root, "quarantine")
+            dst = os.path.join(quarantine_dir, os.path.basename(src))
+            try:
+                os.makedirs(quarantine_dir, exist_ok=True)
+                os.replace(src, dst)
+            except OSError:
+                return
         _log.warning("result store: quarantined corrupt entry %s -> %s "
                      "(%s)", src, dst, reason)
 
     def get(self, key: str) -> Optional[SimResult]:
         """Load the stored result for ``key``; ``None`` when absent or
         corrupt.  Corrupt entries are quarantined (see class docs)."""
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except OSError:
-            return None
-        except ValueError:
-            self._quarantine(key, "unparseable JSON")
-            return None
-        if not isinstance(payload, dict) \
-                or payload.get("format") != CACHE_FORMAT_VERSION:
-            self._quarantine(key, "format marker mismatch")
-            return None
-        if payload.get("checksum") != _result_checksum(
-                payload.get("result", {})):
-            self._quarantine(key, "checksum mismatch")
-            return None
-        try:
-            return SimResult.from_dict(payload["result"])
-        except Exception as err:  # noqa: BLE001 - corrupt data boundary
-            self._quarantine(key, f"undecodable result "
-                             f"({type(err).__name__})")
-            return None
+        result, corrupt_reason = self._read_entry(key)
+        if corrupt_reason is not None:
+            self._quarantine(key, corrupt_reason)
+        return result
 
     def put(self, key: str, result: SimResult) -> None:
         directory = os.path.dirname(self._path(key))
@@ -186,7 +253,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, self._path(key))
+            with self._write_lock():
+                os.replace(tmp, self._path(key))
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -212,17 +280,28 @@ class ResultStore:
 
 
 class Task:
-    """One sweep cell: run ``workload`` under ``config``."""
+    """One sweep cell: run ``workload`` under ``config``.
 
-    __slots__ = ("label", "config", "workload", "timeout_s")
+    ``resume=True`` asks the very first attempt to resume from an
+    existing rolling checkpoint (when the executor has a
+    ``checkpoint_dir`` and one is present) instead of starting at cycle
+    zero — the job service sets it when replaying jobs that a previous
+    service incarnation journaled as running or drained.  Without it
+    only retry attempts consult checkpoints, preserving the historical
+    fresh-start semantics of batch sweeps.
+    """
+
+    __slots__ = ("label", "config", "workload", "timeout_s", "resume")
 
     def __init__(self, label: str, config: SystemConfig,
                  workload: Workload,
-                 timeout_s: Optional[float] = None) -> None:
+                 timeout_s: Optional[float] = None,
+                 resume: bool = False) -> None:
         self.label = label
         self.config = config
         self.workload = workload
         self.timeout_s = timeout_s
+        self.resume = resume
 
 
 class TaskFailure:
@@ -238,7 +317,7 @@ class TaskFailure:
     def __init__(self, label: str, kind: str, message: str,
                  attempts: int = 1, dump: Optional[Dict] = None) -> None:
         self.label = label
-        self.kind = kind          # "error" | "timeout" | "interrupted"
+        self.kind = kind          # "error"|"timeout"|"interrupted"|"oom"
         self.message = message
         self.attempts = attempts
         self.dump = dump
@@ -248,16 +327,25 @@ class TaskFailure:
 
 
 class ExecutorOutcome:
-    """Results and failures of one ``Executor.run_tasks`` batch."""
+    """Results and failures of one ``Executor.run_tasks`` batch.
 
-    __slots__ = ("results", "failures", "stats")
+    ``drained`` maps the label of every task that was *paused* by a
+    cooperative drain (``Executor(drain_flag=...)``) to the simulated
+    cycle its rolling checkpoint covers — those tasks neither succeeded
+    nor failed; resubmitting them with ``Task(resume=True)`` continues
+    from the checkpoint bit-identically.
+    """
+
+    __slots__ = ("results", "failures", "stats", "drained")
 
     def __init__(self, results: Dict[str, SimResult],
                  failures: List[TaskFailure],
-                 stats: Dict[str, int]) -> None:
+                 stats: Dict[str, int],
+                 drained: Optional[Dict[str, int]] = None) -> None:
         self.results = results
         self.failures = failures
         self.stats = stats
+        self.drained = drained if drained is not None else {}
 
     def result(self, label: str) -> SimResult:
         for failure in self.failures:
@@ -265,6 +353,10 @@ class ExecutorOutcome:
                 raise RuntimeError(
                     f"task {label!r} failed ({failure.kind}): "
                     f"{failure.message}")
+        if label in self.drained:
+            raise RuntimeError(
+                f"task {label!r} was drained at cycle "
+                f"{self.drained[label]}; resubmit with resume=True")
         return self.results[label]
 
 
@@ -275,6 +367,17 @@ class _TaskTimeout(BaseException):
     pickle wrapper in ``snapshot_system``, whose checkpoint can be
     mid-write when the alarm fires — cannot swallow it into a
     non-retryable error; only ``_run_task`` catches it, as a timeout."""
+
+
+class _TaskDrained(BaseException):
+    """Raised by ``_simulate`` when a cooperative drain paused the task
+    at a checkpoint boundary.  ``BaseException`` for the same reason as
+    ``_TaskTimeout``: no isolation layer may swallow it — only
+    ``_run_task`` catches it, as a "drained" outcome."""
+
+    def __init__(self, cycle: int) -> None:
+        self.cycle = cycle
+        super().__init__(f"drained at cycle {cycle}")
 
 
 def _alarm_handler(_signum, _frame):
@@ -290,8 +393,15 @@ def _task_alarm(timeout_s: Optional[float]):
     window where a still-armed alarm fires into the restored handler —
     for back-to-back serial tasks that would abort the *next* task (or
     kill the process outright under the default disposition).
+
+    ``signal.signal`` only works from the main thread; when the serial
+    path runs inside a worker *thread* (the job service's supervisor),
+    the alarm is skipped and stuck-task protection falls to the
+    supervisor's heartbeat watchdog instead.  Pool workers are
+    unaffected — their tasks run on the worker process's main thread.
     """
-    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+    if timeout_s is None or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
         yield
         return
     previous = signal.signal(signal.SIGALRM, _alarm_handler)
@@ -305,14 +415,22 @@ def _task_alarm(timeout_s: Optional[float]):
 
 def _simulate(config: SystemConfig, workload: Workload, meta: Dict,
               checkpoint_path: Optional[str],
-              checkpoint_interval: Optional[int]) -> SimResult:
+              checkpoint_interval: Optional[int],
+              resume: bool = False,
+              drain_flag: Optional[str] = None) -> SimResult:
     """Run one cell, through the checkpointing path when enabled.
 
-    On a retry (``meta["attempt"] > 1``) a valid rolling checkpoint left
-    by the previous attempt is resumed instead of restarting from cycle
-    zero; a missing or corrupt checkpoint falls back to a fresh run.
-    Sanitized configs always run fresh — they cannot be checkpointed
-    (``repro.sim.checkpoint``).
+    On a retry (``meta["attempt"] > 1``) — or on a first attempt with
+    ``resume=True`` (journal replay after a service restart) — a valid
+    rolling checkpoint left by a previous attempt/incarnation is resumed
+    instead of restarting from cycle zero; a missing or corrupt
+    checkpoint falls back to a fresh run.  Sanitized configs always run
+    fresh — they cannot be checkpointed (``repro.sim.checkpoint``).
+
+    With a ``drain_flag``, the checkpoint loop pauses at the first
+    checkpoint boundary after the flag file appears and this raises
+    ``_TaskDrained`` — the rolling checkpoint is deliberately *kept* so
+    a later attempt resumes it.
     """
     # deferred import: repro.sim.runner imports this module
     from repro.sim.runner import collect_result, run_simulation
@@ -321,7 +439,7 @@ def _simulate(config: SystemConfig, workload: Workload, meta: Dict,
     from repro.sim.checkpoint import load_checkpoint, run_with_checkpoints
     from repro.sim.system import System
     system = None
-    if meta["attempt"] > 1 and os.path.exists(checkpoint_path):
+    if (meta["attempt"] > 1 or resume) and os.path.exists(checkpoint_path):
         try:
             system = load_checkpoint(checkpoint_path)
             meta["resumed_from"] = system.cycles
@@ -335,7 +453,10 @@ def _simulate(config: SystemConfig, workload: Workload, meta: Dict,
         system.mem.warm(workload)
     run_with_checkpoints(
         system, checkpoint_path,
-        checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL)
+        checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL,
+        stop_flag=drain_flag)
+    if not system.done:
+        raise _TaskDrained(system.cycles)
     try:
         os.unlink(checkpoint_path)
     except OSError:
@@ -347,23 +468,34 @@ def _run_task(label: str, config: SystemConfig, workload: Workload,
               timeout_s: Optional[float], attempt: int = 1,
               checkpoint_path: Optional[str] = None,
               checkpoint_interval: Optional[int] = None,
+              resume: bool = False,
+              drain_flag: Optional[str] = None,
               ) -> Tuple[str, str, object, Dict]:
     """Worker entry point (also the serial path, for identical
     semantics at ``jobs=1``).  Never raises: failures are reported as
-    ('error'|'timeout', message) so one bad cell cannot take down the
-    batch or the pool.  The fourth element is attempt metadata:
-    ``attempt`` (1-based), ``resumed_from`` (checkpoint cycle or None)
-    and, for deadlocks, the diagnostic ``dump``."""
+    ('error'|'timeout'|'oom'|'drained', message) so one bad cell cannot
+    take down the batch or the pool.  The fourth element is attempt
+    metadata: ``attempt`` (1-based), ``resumed_from`` (checkpoint cycle
+    or None), ``checkpoint_cycle`` for drained tasks and, for
+    deadlocks, the diagnostic ``dump``."""
     global CURRENT_ATTEMPT
     CURRENT_ATTEMPT = attempt
     meta: Dict = {"attempt": attempt, "resumed_from": None}
     try:
         with _task_alarm(timeout_s):
             result = _simulate(config, workload, meta,
-                               checkpoint_path, checkpoint_interval)
+                               checkpoint_path, checkpoint_interval,
+                               resume, drain_flag)
         return (label, "ok", result, meta)
     except _TaskTimeout:
         return (label, "timeout", f"exceeded {timeout_s}s", meta)
+    except _TaskDrained as drained:
+        meta["checkpoint_cycle"] = drained.cycle
+        return (label, "drained",
+                f"paused by drain at cycle {drained.cycle}", meta)
+    except MemoryError:
+        return (label, "oom",
+                "worker exhausted its memory ceiling (RLIMIT_AS)", meta)
     except DeadlockError as err:
         meta["dump"] = err.dump
         return (label, "error", f"DeadlockError: {err}", meta)
@@ -400,13 +532,17 @@ class Executor:
                  backoff_cap_s: float = 2.0,
                  pool_failure_limit: int = 3,
                  checkpoint_dir: Optional[str] = None,
-                 checkpoint_interval: Optional[int] = None) -> None:
+                 checkpoint_interval: Optional[int] = None,
+                 worker_memory_mb: Optional[int] = None,
+                 drain_flag: Optional[str] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if pool_failure_limit < 1:
             raise ValueError("pool_failure_limit must be >= 1")
+        if worker_memory_mb is not None and worker_memory_mb < 1:
+            raise ValueError("worker_memory_mb must be >= 1")
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.cache = cache
@@ -416,6 +552,12 @@ class Executor:
         self.pool_failure_limit = pool_failure_limit
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_interval = checkpoint_interval
+        #: Off by default.  Applied as RLIMIT_AS inside pool workers
+        #: only; the serial path never caps the embedding process.
+        self.worker_memory_mb = worker_memory_mb
+        #: Cooperative-drain flag file: when it exists, checkpointing
+        #: tasks pause at the next checkpoint boundary ("drained").
+        self.drain_flag = drain_flag
         self._pool_breaks = 0
         self._degraded = False
 
@@ -424,10 +566,13 @@ class Executor:
 
         An interruption (the worker died under the task) is always worth
         one retry even at ``retries=0``: the task itself did nothing
-        wrong, and a checkpoint may make the retry nearly free.  Plain
+        wrong, and a checkpoint may make the retry nearly free.  An OOM
+        under a worker memory ceiling is treated the same way — the
+        ceiling is an environmental policy, and a retry resuming from a
+        checkpoint taken before the blow-up can finish within it.  Plain
         errors are deterministic — retrying replays the same exception.
         """
-        if status == "interrupted":
+        if status in ("interrupted", "oom"):
             return max(self.retries, 1)
         if status == "timeout":
             return self.retries
@@ -451,9 +596,11 @@ class Executor:
         cache = cache if cache is not None else self.cache
         stats = {"tasks": len(tasks), "cache_hits": 0, "simulated": 0,
                  "deduplicated": 0, "failed": 0, "retries": 0,
-                 "resumed": 0, "pool_rebuilds": 0, "degraded_serial": 0}
+                 "resumed": 0, "pool_rebuilds": 0, "degraded_serial": 0,
+                 "drained": 0}
         results: Dict[str, SimResult] = {}
         failures: List[TaskFailure] = []
+        drained: Dict[str, int] = {}
         # resolve cache hits and deduplicate identical experiments
         pending: Dict[str, Task] = {}       # key -> representative task
         by_key: Dict[str, List[Task]] = {}  # key -> every task wanting it
@@ -494,6 +641,14 @@ class Executor:
                         cache.insert(task.config, task.workload, payload)
                     for waiting in by_key[key]:
                         results[waiting.label] = payload
+                elif status == "drained":
+                    # not a failure: the task paused at a checkpoint
+                    # boundary because a drain was requested; the caller
+                    # resubmits it with resume=True
+                    stats["drained"] += 1
+                    cycle = meta.get("checkpoint_cycle", 0)
+                    for waiting in by_key[key]:
+                        drained[waiting.label] = cycle
                 elif attempt[key] <= self._retry_budget(status):
                     stats["retries"] += 1
                     attempt[key] += 1
@@ -509,7 +664,7 @@ class Executor:
                             attempts=attempt[key],
                             dump=meta.get("dump")))
             remaining = retry_round
-        return ExecutorOutcome(results, failures, stats)
+        return ExecutorOutcome(results, failures, stats, drained)
 
     def _execute(self, pending: Dict[str, Task],
                  attempt: Dict[str, int], stats: Dict[str, int]):
@@ -534,17 +689,20 @@ class Executor:
                 path, interval = self._checkpoint_args(key)
                 yield key, _run_task(task.label, task.config,
                                      task.workload, timeout_of(task),
-                                     attempt[key], path, interval)
+                                     attempt[key], path, interval,
+                                     task.resume, self.drain_flag)
             return
         broken = False
         with ProcessPoolExecutor(max_workers=self.jobs,
-                                 initializer=_mark_pool_worker) as pool:
+                                 initializer=_init_pool_worker,
+                                 initargs=(self.worker_memory_mb,)) as pool:
             futures = {}
             for key, task in pending.items():
                 path, interval = self._checkpoint_args(key)
                 futures[key] = pool.submit(
                     _run_task, task.label, task.config, task.workload,
-                    timeout_of(task), attempt[key], path, interval)
+                    timeout_of(task), attempt[key], path, interval,
+                    task.resume, self.drain_flag)
             for key, future in futures.items():
                 task = pending[key]
                 try:

@@ -500,3 +500,65 @@ class TestResultStoreQuarantine:
         # the slot is reusable after quarantine
         store.put(key, result)
         assert store.get(key).to_dict() == result.to_dict()
+
+
+class TestWorkerMemoryCeiling:
+    """``Executor(worker_memory_mb=...)``: RLIMIT_AS in pool workers
+    turns a runaway allocation into a retryable 'oom' failure instead of
+    inviting the kernel OOM killer to shoot the host."""
+
+    def _needs_rlimit(self):
+        import resource
+        if not hasattr(resource, "RLIMIT_AS"):
+            pytest.skip("platform has no RLIMIT_AS")
+
+    def test_oom_is_retried_and_recovers(self, tmp_path):
+        """The chaos alloc fault (16 GiB ballast) trips the 2 GiB worker
+        ceiling on attempt 1; attempt 2 runs clean (the fault is
+        attempt-gated) and resumes from the rolling checkpoint."""
+        import dataclasses
+        self._needs_rlimit()
+        hog = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(alloc_at_cycle=400, alloc_mb=16384,
+                                     alloc_attempts=1))
+        outcome = Executor(jobs=2, retries=1, worker_memory_mb=2048,
+                           checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=150).run_tasks(
+            [Task("hog", hog, small_workload())])
+        assert not outcome.failures
+        assert outcome.stats["retries"] == 1
+        # process faults never fire serially, so this is ground truth
+        serial = run_simulation(hog, small_workload())
+        assert outcome.results["hog"].to_dict() == serial.to_dict()
+
+    def test_persistent_hog_fails_as_oom(self, tmp_path):
+        self._needs_rlimit()
+        import dataclasses
+        hog = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(alloc_at_cycle=400, alloc_mb=16384,
+                                     alloc_attempts=99))
+        outcome = Executor(jobs=2, retries=1, worker_memory_mb=2048,
+                           checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=150).run_tasks(
+            [Task("hog", hog, small_workload())])
+        assert outcome.results == {}
+        assert [f.label for f in outcome.failures] == ["hog"]
+        assert outcome.failures[0].kind == "oom"
+        assert outcome.failures[0].attempts == 2
+        assert "RLIMIT_AS" in outcome.failures[0].message
+
+    def test_ceiling_off_by_default(self):
+        """Without a ceiling a modest allocation sails through — the
+        limit is strictly opt-in."""
+        import dataclasses
+        modest = dataclasses.replace(
+            BASE, chaos=_quiet_chaos(alloc_at_cycle=400, alloc_mb=64,
+                                     alloc_attempts=1))
+        outcome = Executor(jobs=2).run_tasks(
+            [Task("modest", modest, small_workload())])
+        assert not outcome.failures
+        assert outcome.stats["retries"] == 0
+
+    def test_rejects_nonsense_ceiling(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=2, worker_memory_mb=0)

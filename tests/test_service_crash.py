@@ -1,0 +1,157 @@
+"""Crash tolerance, end to end: a real ``repro serve`` subprocess is
+killed (``SIGKILL``) or drained (``SIGTERM``) mid-job, restarted on the
+same state directory, and must
+
+* replay the journal and resume exactly the unfinished jobs,
+* produce results bit-identical to an uninterrupted in-process run
+  (even when the resumed job continues from a rolling checkpoint),
+* serve previously finished jobs from the store with zero
+  re-simulation.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.journal import Journal
+from repro.sim.runner import run_simulation
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+QUICK = JobSpec(workload="mcf_r", scheme="unsafe", instructions=400,
+                threads=1)
+#: Long enough (~2s of simulation) that a signal reliably lands while
+#: the job is running.
+LONG = JobSpec(workload="mcf_r", scheme="unsafe", instructions=60000,
+               threads=1)
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_service(root, port, checkpoint_interval=20000):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root),
+         "--port", str(port), "--jobs", "1",
+         "--checkpoint-interval", str(checkpoint_interval)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    client = ServiceClient(f"http://127.0.0.1:{port}", retries=40,
+                           backoff_s=0.05, backoff_cap_s=0.5,
+                           timeout_s=10.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return proc, client
+        except (ConnectionError, OSError):
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"repro serve exited early with {proc.returncode}")
+            time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("service never became healthy")
+
+
+def wait_running(client, job_id, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.job(job_id)["status"]
+        if status == "running":
+            return
+        if status in ("done", "failed"):
+            raise AssertionError(f"job finished ({status}) before the "
+                                 f"signal could land; raise LONG")
+        time.sleep(0.02)
+    raise AssertionError("job never started running")
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+@pytest.mark.slow
+def test_kill9_restart_replays_bit_identical(tmp_path):
+    root = tmp_path / "service"
+    port = free_port()
+    proc, client = start_service(root, port)
+    try:
+        quick_doc = client.run(QUICK, timeout_s=60.0).to_dict()
+        long_id = client.submit(LONG)["job"]
+        wait_running(client, long_id)
+        proc.send_signal(signal.SIGKILL)  # no drain, no goodbye
+        proc.wait(timeout=10)
+
+        proc, client = start_service(root, port)
+        stats = client.stats()
+        assert stats["counters"]["replayed_jobs"] == 1
+        served = client.wait(long_id, timeout_s=120.0)
+        assert served["status"] == "done"
+
+        # bit-identical to an uninterrupted in-process run, despite the
+        # kill (and a possible resume from a rolling checkpoint)
+        expected = run_simulation(*LONG.resolve()).to_dict()
+        assert client.job(long_id)["result"] == expected
+
+        # the pre-crash job survived in the store, byte for byte
+        assert client.job(QUICK.job_id())["result"] == quick_doc
+
+        # resubmitting finished work simulates nothing
+        simulated = client.stats()["counters"]["executor_simulated"]
+        assert client.submit(QUICK)["status"] == "done"
+        assert client.submit(LONG)["status"] == "done"
+        after = client.stats()["counters"]
+        assert after["executor_simulated"] == simulated
+        assert after["idempotent_hits"] >= 2
+    finally:
+        stop(proc)
+
+
+@pytest.mark.slow
+def test_sigterm_drain_checkpoints_and_resumes(tmp_path):
+    root = tmp_path / "service"
+    port = free_port()
+    # small interval: several rolling checkpoints during LONG
+    proc, client = start_service(root, port, checkpoint_interval=10000)
+    try:
+        long_id = client.submit(LONG)["job"]
+        wait_running(client, long_id)
+        time.sleep(0.4)  # let at least one checkpoint land
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0  # graceful exit
+
+        # the drain journaled the in-flight job as requeued, carrying
+        # the cycle of the checkpoint it paused at
+        records = Journal(str(root / "journal.jsonl")).replay()
+        requeued = [r for r in records
+                    if r["type"] in ("requeued", "snapshot")
+                    and r["job"] == long_id]
+        assert requeued, "drain must leave a durable requeue record"
+        entry = requeued[-1]["data"]
+        assert entry.get("checkpoint_cycle", 0) > 0 \
+            or entry.get("status") == "queued"
+
+        proc, client = start_service(root, port,
+                                     checkpoint_interval=10000)
+        assert client.stats()["counters"]["replayed_jobs"] == 1
+        client.wait(long_id, timeout_s=120.0)
+        # the resumed run (checkpoint -> completion) must be
+        # indistinguishable from one that was never interrupted
+        expected = run_simulation(*LONG.resolve()).to_dict()
+        assert client.job(long_id)["result"] == expected
+    finally:
+        stop(proc)

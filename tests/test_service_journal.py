@@ -1,0 +1,164 @@
+"""The job service's write-ahead journal: durability contracts.
+
+* every record is checksummed; decode rejects tampering;
+* a torn FINAL line (crash mid-append) is tolerated; the same damage
+  anywhere earlier is corruption and raises ``JournalError``;
+* ``reduce_records`` folds the transition stream into per-job state
+  (queued -> running -> done/failed, requeued -> queued + resume);
+* ``compact`` atomically rewrites the journal as snapshots that reduce
+  to the identical state.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import JournalError
+from repro.service.journal import (JOURNAL_FORMAT_VERSION, Journal,
+                                   decode_record, encode_record,
+                                   reduce_records)
+
+SPEC = {"workload": "mcf_r", "scheme": "unsafe", "instructions": 300,
+        "threads": 1, "sanitize": False, "priority": 5}
+
+
+def test_record_roundtrip():
+    line = encode_record(3, "submitted", "abc123",
+                         {"spec": SPEC, "priority": 5})
+    record = decode_record(line)
+    assert record["seq"] == 3
+    assert record["type"] == "submitted"
+    assert record["job"] == "abc123"
+    assert record["data"]["priority"] == 5
+    assert record["v"] == JOURNAL_FORMAT_VERSION
+
+
+def test_decode_rejects_tampering():
+    line = encode_record(1, "done", "abc123", {"cycles": 100})
+    tampered = line.replace('"cycles": 100', '"cycles": 999')
+    with pytest.raises(JournalError, match="checksum"):
+        decode_record(tampered)
+    with pytest.raises(JournalError, match="undecodable"):
+        decode_record(line[: len(line) // 2])
+    with pytest.raises(JournalError):
+        decode_record(json.dumps({"v": 99, "type": "done", "seq": 1,
+                                  "job": "x", "data": {}, "sum": "0"}))
+
+
+def test_encode_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        encode_record(1, "vanished", "abc123")
+
+
+def test_append_replay_roundtrip(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = Journal(path, fsync=False)
+    journal.append("submitted", "job-a", {"spec": SPEC, "priority": 5})
+    journal.append("running", "job-a", {"attempt": 1})
+    journal.append("done", "job-a", {"cycles": 1234})
+    journal.close()
+
+    fresh = Journal(path, fsync=False)
+    records = fresh.replay()
+    assert [r["type"] for r in records] == ["submitted", "running",
+                                            "done"]
+    # replay fast-forwards the sequence so new appends keep total order
+    assert fresh.append("submitted", "job-b", {"spec": SPEC}) == 4
+
+
+def test_replay_tolerates_torn_final_line(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = Journal(path, fsync=False)
+    journal.append("submitted", "job-a", {"spec": SPEC})
+    journal.append("running", "job-a", {"attempt": 1})
+    journal.close()
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"data": {}, "job": "job-a", "se')  # crash mid-write
+
+    records = Journal(path, fsync=False).replay()
+    assert [r["type"] for r in records] == ["submitted", "running"]
+
+
+def test_replay_rejects_mid_file_corruption(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = Journal(path, fsync=False)
+    journal.append("submitted", "job-a", {"spec": SPEC})
+    journal.append("done", "job-a", {"cycles": 9})
+    journal.close()
+    lines = open(path, encoding="utf-8").readlines()
+    lines[0] = lines[0].replace("submitted", "snapshot")  # bad checksum
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+
+    with pytest.raises(JournalError, match="line 1"):
+        Journal(path, fsync=False).replay()
+
+
+def test_reduce_records_state_machine():
+    journal_lines = [
+        encode_record(1, "submitted", "a", {"spec": SPEC, "priority": 5}),
+        encode_record(2, "submitted", "a", {"spec": SPEC, "priority": 5}),
+        encode_record(3, "running", "a", {"attempt": 1}),
+        encode_record(4, "requeued", "a", {"checkpoint_cycle": 500}),
+        encode_record(5, "running", "a", {"attempt": 2}),
+        encode_record(6, "done", "a", {"cycles": 999}),
+        encode_record(7, "submitted", "b", {"spec": SPEC, "priority": 0}),
+        encode_record(8, "running", "b", {"attempt": 1}),
+        encode_record(9, "failed", "b", {"kind": "timeout",
+                                         "message": "too slow"}),
+        encode_record(10, "submitted", "c", {"spec": SPEC,
+                                             "priority": 10}),
+    ]
+    state = reduce_records([decode_record(l) for l in journal_lines])
+    assert state["a"]["status"] == "done"
+    assert state["a"]["cycles"] == 999
+    assert state["a"]["attempts"] == 2
+    assert state["a"]["resume"] is False
+    assert state["b"]["status"] == "failed"
+    assert state["b"]["failure"]["kind"] == "timeout"
+    assert state["c"] == {"status": "queued", "spec": SPEC,
+                          "priority": 10, "attempts": 0, "resume": False}
+
+
+def test_reduce_records_requeued_keeps_resume():
+    records = [
+        decode_record(encode_record(1, "submitted", "a",
+                                    {"spec": SPEC, "priority": 5})),
+        decode_record(encode_record(2, "running", "a", {"attempt": 1})),
+        decode_record(encode_record(3, "requeued", "a",
+                                    {"checkpoint_cycle": 321})),
+    ]
+    state = reduce_records(records)
+    assert state["a"]["status"] == "queued"
+    assert state["a"]["resume"] is True
+    assert state["a"]["checkpoint_cycle"] == 321
+
+
+def test_reduce_records_rejects_orphan_transition():
+    records = [decode_record(encode_record(1, "running", "ghost",
+                                           {"attempt": 1}))]
+    with pytest.raises(JournalError, match="unknown job"):
+        reduce_records(records)
+
+
+def test_compact_snapshots_preserve_state(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = Journal(path, fsync=False)
+    journal.append("submitted", "a", {"spec": SPEC, "priority": 5})
+    journal.append("running", "a", {"attempt": 1})
+    journal.append("done", "a", {"cycles": 77})
+    journal.append("submitted", "b", {"spec": SPEC, "priority": 0})
+    state = reduce_records(journal.replay())
+    assert journal.appends_since_compact == 4
+
+    journal.compact(state)
+    assert journal.appends_since_compact == 0
+    records = Journal(path, fsync=False).replay()
+    assert all(r["type"] == "snapshot" for r in records)
+    assert reduce_records(records) == state
+    # post-compaction appends still replay on top of the snapshots
+    journal.append("running", "b", {"attempt": 1})
+    journal.close()
+    after = reduce_records(Journal(path, fsync=False).replay())
+    assert after["b"]["status"] == "running"
+    assert after["a"]["status"] == "done"
