@@ -39,6 +39,14 @@ from repro.common.params import ChaosConfig
 class ChaosEngine:
     """Seeded fault injector bound to one ``System``."""
 
+    # the engine (RNG, backoff counters, eviction phase) is part of the
+    # pickled System graph for chaos runs, so state lives in slots;
+    # "__dict__" stays only for the sanitizer, which shadows the fault
+    # methods with recording wrappers (sanitized systems are never
+    # checkpointed — save_checkpoint refuses them)
+    __slots__ = ("config", "system", "rng", "_nack_counts",
+                 "_evict_l1_next", "__dict__")
+
     def __init__(self, config: ChaosConfig, system) -> None:
         config.validate()
         self.config = config

@@ -10,7 +10,7 @@ Commands:
 * ``bench``      — the executor/cache performance benchmark; writes
   ``BENCH_executor.json`` (see ``docs/performance.md``)
 * ``verify``     — the verification passes (``model``, ``trace``,
-  ``lint``); see ``docs/verification.md``
+  ``lint``, ``analyze``); see ``docs/verification.md``
 * ``chaos``      — the seeded fault-injection campaign (N seeds per
   cell must be architecturally identical); see ``docs/resilience.md``
 * ``serve``      — the crash-tolerant job service (durable journal,
@@ -266,6 +266,67 @@ def _cmd_verify_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_verify_analyze(args) -> int:
+    import json
+    import sys
+    from pathlib import Path
+
+    paths = [Path(p) for p in args.paths] or [Path(__file__).parent]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(
+                f"repro verify analyze: no such path: {path}")
+    passes = [p.strip() for p in args.passes.split(",")
+              if p.strip()] or None
+    try:
+        from repro.verify.passes import (analyze_paths, write_baseline,
+                                         write_manifest)
+        from repro.verify.passes.base import load_sources
+        if args.update_manifest:
+            manifest_path = Path(args.manifest) if args.manifest \
+                else None
+            from repro.verify.passes.checkpoint_state import (
+                MANIFEST_FILENAME)
+            import repro.verify.passes as passes_pkg
+            target = manifest_path or (
+                Path(passes_pkg.__file__).parent / MANIFEST_FILENAME)
+            write_manifest(load_sources([str(p) for p in paths]),
+                           target)
+            print(f"state manifest regenerated: {target}",
+                  file=sys.stderr)
+        report = analyze_paths(
+            [str(p) for p in paths], passes=passes,
+            baseline_path=args.baseline or None,
+            manifest_path=args.manifest or None)
+        if args.update_baseline:
+            from repro.verify.passes import default_baseline_path
+            target = Path(args.baseline) if args.baseline \
+                else default_baseline_path()
+            errors = [f for f in report.findings
+                      if f.severity == "error"]
+            write_baseline(errors, target)
+            print(f"baseline updated: {target} "
+                  f"({len(errors)} finding(s))", file=sys.stderr)
+            return 0
+    except SystemExit:
+        raise
+    except ValueError as err:
+        # unknown pass names are usage errors, not internal failures
+        raise SystemExit(f"repro verify analyze: {err}")
+    except Exception as err:  # noqa: B902 - the distinct-exit contract
+        print(f"repro verify analyze: internal error: "
+              f"{type(err).__name__}: {err}", file=sys.stderr)
+        return 2
+    doc = report.to_doc()
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -430,7 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.set_defaults(func=_cmd_bench)
 
     verify_p = sub.add_parser(
-        "verify", help="protocol model check / sanitized run / lint")
+        "verify",
+        help="protocol model check / sanitized run / lint / "
+             "static contract analysis")
     verify_sub = verify_p.add_subparsers(dest="pass_name", required=True)
 
     model_p = verify_sub.add_parser(
@@ -456,8 +519,40 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(_PIN_NAMES))
     trace_p.set_defaults(func=_cmd_verify_trace)
 
+    analyze_p = verify_sub.add_parser(
+        "analyze",
+        help="multi-pass static contract analysis (wakeup, checkpoint, "
+             "determinism, service, event discipline)")
+    analyze_p.add_argument("paths", nargs="*",
+                           help="files/directories to analyze "
+                                "(default: the repro package)")
+    analyze_p.add_argument("--json", action="store_true",
+                           help="emit the JSON report on stdout")
+    analyze_p.add_argument("--out", default="",
+                           help="also write the JSON report to this "
+                                "file")
+    analyze_p.add_argument("--passes", default="",
+                           help="comma-separated pass subset "
+                                "(default: all)")
+    analyze_p.add_argument("--baseline", default="",
+                           help="baseline file of accepted finding "
+                                "fingerprints (default: the committed "
+                                "one)")
+    analyze_p.add_argument("--update-baseline", action="store_true",
+                           help="accept all current findings into the "
+                                "baseline and exit 0")
+    analyze_p.add_argument("--manifest", default="",
+                           help="state-shape manifest path (default: "
+                                "the committed one)")
+    analyze_p.add_argument("--update-manifest", action="store_true",
+                           help="regenerate the checkpoint state-shape "
+                                "manifest before analyzing")
+    analyze_p.set_defaults(func=_cmd_verify_analyze)
+
     lint_p = verify_sub.add_parser(
-        "lint", help="determinism/idiom lint over the sources")
+        "lint", help="determinism/idiom lint over the sources "
+                     "(compatible alias for the analyze framework's "
+                     "lint pass)")
     lint_p.add_argument("paths", nargs="*",
                         help="files/directories (default: the installed "
                         "repro package)")

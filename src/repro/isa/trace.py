@@ -15,6 +15,8 @@ class Trace:
     cursor, so the same ``Trace`` serves replay for free.
     """
 
+    __slots__ = ("_uops", "name")
+
     def __init__(self, uops: Sequence[MicroOp], name: str = "trace") -> None:
         self._uops: List[MicroOp] = list(uops)
         self.name = name
@@ -49,7 +51,10 @@ class Trace:
 class Workload:
     """A named set of per-thread traces that run together on one system."""
 
-    def __init__(self, traces: Sequence[Trace], name: str = "workload") -> None:
+    __slots__ = ("traces", "name", "_fingerprint")
+
+    def __init__(self, traces: Sequence[Trace],
+                 name: str = "workload") -> None:
         if not traces:
             raise ValueError("workload needs at least one trace")
         self.traces: List[Trace] = list(traces)

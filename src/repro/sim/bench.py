@@ -238,7 +238,10 @@ print(json.dumps(results))
 
 def _probe_tree(src: str, apps: List[str],
                 instructions: int) -> Dict[str, Dict[str, object]]:
-    env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="0")
+    # constructing a *subprocess* environment, not reading config: the
+    # probe pins PYTHONPATH/PYTHONHASHSEED, inheriting the rest verbatim
+    env = dict(os.environ,  # repro: allow-env-read
+               PYTHONPATH=src, PYTHONHASHSEED="0")
     proc = subprocess.run(
         [sys.executable, "-c", _BASELINE_PROBE, ",".join(apps),
          str(instructions)],

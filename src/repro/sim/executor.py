@@ -105,11 +105,14 @@ _config_json_memo: Dict[int, Tuple[SystemConfig, str]] = {}
 
 
 def _config_json(config: SystemConfig) -> str:
-    memo = _config_json_memo.get(id(config))
+    # pure identity memo: the id() key is validated with an `is` check
+    # and never ordered, persisted, or exposed, so address reuse across
+    # runs cannot change any result
+    memo = _config_json_memo.get(id(config))  # repro: allow-id-ordering
     if memo is not None and memo[0] is config:
         return memo[1]
     text = json.dumps(config.to_dict(), sort_keys=True)
-    _config_json_memo[id(config)] = (config, text)
+    _config_json_memo[id(config)] = (config, text)  # repro: allow-id-ordering
     return text
 
 

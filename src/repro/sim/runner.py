@@ -137,7 +137,10 @@ class ExperimentCache:
 
 #: Shared cache for the benchmark harnesses.  Set ``REPRO_CACHE_DIR`` to
 #: back it with a persistent on-disk store.
-GLOBAL_CACHE = ExperimentCache(cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+# the env var picks the cache *location* only; entries are keyed by a
+# content hash of (config, workload), so results cannot depend on it
+GLOBAL_CACHE = ExperimentCache(
+    cache_dir=os.environ.get("REPRO_CACHE_DIR"))  # repro: allow-env-read
 
 
 def scheme_grid() -> Dict[str, Tuple[DefenseKind, ThreatModel, PinningMode]]:

@@ -12,17 +12,24 @@ Three independent passes, surfaced through ``python -m repro verify``:
   the recent event trace attached.
 * :mod:`repro.verify.lint` — an AST pass over the sources flagging
   simulation-determinism hazards and type-hint defects.
+* :mod:`repro.verify.passes` — the multi-pass static analysis framework
+  (``repro verify analyze``): the lint plus the wakeup-contract,
+  checkpoint-safety, determinism, service-taxonomy, and
+  event-discipline passes, with unified waivers, a committed baseline,
+  and a JSON report.
 
 Every protocol or pinning change must keep ``repro verify model`` and
-``repro verify lint`` green; see ``docs/verification.md``.
+``repro verify analyze`` green; see ``docs/verification.md``.
 """
 
 from repro.verify.explorer import ExplorationResult, explore
 from repro.verify.lint import Finding, lint_paths, lint_source
 from repro.verify.model import ModelConfig, PinnedProtocolModel
+from repro.verify.passes import Report, analyze_paths
 from repro.verify.sanitizer import Sanitizer
 
 __all__ = [
     "ExplorationResult", "Finding", "ModelConfig", "PinnedProtocolModel",
-    "Sanitizer", "explore", "lint_paths", "lint_source",
+    "Report", "Sanitizer", "analyze_paths", "explore", "lint_paths",
+    "lint_source",
 ]

@@ -82,6 +82,21 @@ SLOTS_EXEMPT_BASES = {
     "BaseException", "Protocol", "NamedTuple", "TypedDict", "ABC",
 }
 
+#: rule name -> one-line invariant, consumed by the analysis framework
+#: (``repro.verify.passes``) when it runs this lint as one of its passes.
+RULES = {
+    "wall-clock": "simulated time must come from EventQueue.now, "
+                  "never the wall clock",
+    "global-random": "randomness must come from an explicitly seeded "
+                     "random.Random",
+    "set-iteration": "iteration over a set feeding scheduling/output "
+                     "must be wrapped in sorted(...)",
+    "implicit-optional": "a None default requires an Optional[...] "
+                         "annotation",
+    "hot-path-slots": "classes in per-cycle packages must declare "
+                      "__slots__",
+}
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -349,23 +364,37 @@ class _Linter(ast.NodeVisitor):
 
 def _waived(finding: Finding, lines: Sequence[str]) -> bool:
     """A ``# repro: allow-<rule>`` comment on the finding's line waives
-    it (narrowly: only that rule, only that line)."""
-    if not 1 <= finding.line <= len(lines):
-        return False
-    return f"# repro: allow-{finding.rule}" in lines[finding.line - 1]
+    it (narrowly: only that rule, only that line).  The matching logic
+    is the framework-wide one (``repro.verify.passes.waivers``)."""
+    from repro.verify.passes.waivers import is_waived
+    return is_waived(finding, lines)
 
 
-def lint_source(source: str, path: str = "<string>",
-                registry: Optional[_SetRegistry] = None) -> List[Finding]:
-    """Lint one module's source text."""
-    tree = ast.parse(source, filename=path)
+def lint_source_raw(source: str, path: str = "<string>",
+                    registry: Optional[_SetRegistry] = None,
+                    tree: Optional[ast.AST] = None) -> List[Finding]:
+    """Lint one module, *without* applying waivers.
+
+    The analysis framework calls this and applies the unified waiver
+    pass itself (so stale lint waivers are auditable); standalone
+    ``lint_source`` keeps the historical filtered behavior.
+    """
+    if tree is None:
+        tree = ast.parse(source, filename=path)
     if registry is None:
         registry = _SetRegistry()
         registry.scan(tree)
     linter = _Linter(path, registry)
     linter.visit(tree)
+    return linter.findings
+
+
+def lint_source(source: str, path: str = "<string>",
+                registry: Optional[_SetRegistry] = None) -> List[Finding]:
+    """Lint one module's source text."""
+    findings = lint_source_raw(source, path, registry)
     lines = source.splitlines()
-    return [finding for finding in linter.findings
+    return [finding for finding in findings
             if not _waived(finding, lines)]
 
 

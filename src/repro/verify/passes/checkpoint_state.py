@@ -1,0 +1,269 @@
+"""checkpoint-safety: the pickled state shape is a versioned contract.
+
+A checkpoint is the pickled ``System`` object graph (``repro.sim.
+checkpoint``), and crash-tolerant resume is only bit-identical if that
+graph (a) round-trips through pickle and (b) means the same thing to
+the simulator that wrote it.  Three static rules guard (a):
+
+* ``checkpoint-slots`` — classes in checkpointed packages that the
+  hot-path lint does not already cover (``isa``, ``common``, ``chaos``)
+  must declare ``__slots__``: a stray ``__dict__`` is where untracked,
+  unversioned state sneaks into checkpoints.
+* ``pickle-unsafe-slot`` — a slot whose name says it holds an OS
+  resource (lock/thread/socket/fd/file handle/pipe) cannot survive a
+  pickle round trip; keep such handles off checkpointed objects.
+* ``checkpoint-lambda`` — lambdas handed to ``EventQueue.schedule`` /
+  ``schedule_after`` land in the pickled event heap and pickle refuses
+  them at checkpoint time, long after the scheduling site; callbacks
+  must be bound methods or module-level functions.
+
+Rule (b) is ``checkpoint-manifest``: a committed manifest
+(``state_manifest.json``) records a hash of every checkpointed class's
+``__slots__`` layout together with the ``CHECKPOINT_FORMAT_VERSION`` it
+was generated for.  Changing the state shape without bumping the
+version is a static error — exactly the failure the version field
+exists to make loud (resuming an old checkpoint into a new layout).
+Regenerate after a legitimate bump with
+``repro verify analyze --update-manifest``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.verify.lint import HOT_PATH_PACKAGES, _Linter
+from repro.verify.passes.base import (AnalysisPass, Finding, PassContext,
+                                      SourceFile)
+
+#: packages whose objects can appear in a pickled System graph
+CHECKPOINTED_PACKAGES = {"core", "mem", "pinning", "security", "isa",
+                         "common", "chaos"}
+
+#: slot-name tokens that denote unpicklable OS resources
+UNPICKLABLE_TOKENS = {"lock", "thread", "socket", "sock", "fd", "fh",
+                      "file", "pipe", "conn", "process"}
+
+#: call names whose callable arguments end up in pickled state
+SCHEDULE_CALLS = {"schedule", "schedule_after"}
+
+MANIFEST_FILENAME = "state_manifest.json"
+VERSION_CONSTANT = "CHECKPOINT_FORMAT_VERSION"
+CHECKPOINT_MODULE_SUFFIX = "sim/checkpoint.py"
+
+
+def _static_slots(node: ast.ClassDef) -> Optional[List[str]]:
+    """The class's ``__slots__`` as a list of names, or None if absent
+    or not statically readable."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    names = []
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) \
+                                and isinstance(element.value, str):
+                            names.append(element.value)
+                    return names
+                if isinstance(value, ast.Constant) \
+                        and isinstance(value.value, str):
+                    return [value.value]
+                return []
+    return None
+
+
+def collect_manifest_classes(
+        files: Iterable[SourceFile]) -> Dict[str, Dict[str, List[str]]]:
+    """``{canonical module: {class: [slots]}}`` for every class with a
+    statically readable ``__slots__`` in a checkpointed package."""
+    classes: Dict[str, Dict[str, List[str]]] = {}
+    for file in files:
+        if file.package not in CHECKPOINTED_PACKAGES or file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            slots = _static_slots(node)
+            if slots is not None:
+                classes.setdefault(file.canonical, {})[node.name] = slots
+    return classes
+
+
+def manifest_hash(classes: Dict[str, Dict[str, List[str]]]) -> str:
+    payload = json.dumps(classes, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _declared_version(file: SourceFile) -> Optional[int]:
+    """AST-read ``CHECKPOINT_FORMAT_VERSION`` from checkpoint.py."""
+    if file.tree is None:
+        return None
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name)
+                        and t.id == VERSION_CONSTANT
+                        for t in node.targets) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, int):
+            return node.value.value
+    return None
+
+
+def _version_node(file: SourceFile) -> Optional[ast.AST]:
+    if file.tree is None:
+        return None
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name)
+                        and t.id == VERSION_CONSTANT
+                        for t in node.targets):
+            return node
+    return None
+
+
+def write_manifest(files: Iterable[SourceFile], path: Path) -> Dict:
+    """Regenerate the committed manifest (CLI ``--update-manifest``)."""
+    files = list(files)
+    classes = collect_manifest_classes(files)
+    version = None
+    for file in files:
+        if file.canonical.endswith(CHECKPOINT_MODULE_SUFFIX):
+            version = _declared_version(file)
+    doc = {"checkpoint_format_version": version,
+           "hash": manifest_hash(classes), "classes": classes}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+class CheckpointSafetyPass(AnalysisPass):
+    name = "checkpoint-safety"
+    description = ("checkpointed classes declare __slots__, keep OS "
+                   "resources and lambdas out of pickled state, and any "
+                   "state-shape change bumps CHECKPOINT_FORMAT_VERSION")
+    rules = {
+        "checkpoint-slots": "checkpointed classes must declare "
+                            "__slots__ so no unversioned state hides in "
+                            "an instance __dict__",
+        "pickle-unsafe-slot": "slots must not hold OS resources "
+                              "(locks, threads, sockets, file handles)",
+        "checkpoint-lambda": "EventQueue callbacks must be picklable "
+                             "(bound methods, not lambdas)",
+        "checkpoint-manifest": "changing checkpointed state shape "
+                               "requires bumping "
+                               "CHECKPOINT_FORMAT_VERSION and "
+                               "regenerating the manifest",
+    }
+
+    def run(self, ctx: PassContext) -> List[Finding]:
+        findings: List[Finding] = []
+        scoped = [f for f in ctx.files
+                  if f.package in CHECKPOINTED_PACKAGES
+                  and f.tree is not None]
+        for file in scoped:
+            findings.extend(self._check_file(file))
+        findings.extend(self._check_manifest(ctx))
+        return findings
+
+    def _check_file(self, file: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        # hot-path packages already get slot findings from the lint
+        # pass; only extend the requirement to the remaining
+        # checkpointed packages so one class never yields two findings
+        slots_scope = file.package not in HOT_PATH_PACKAGES
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                slots = _static_slots(node)
+                if slots is None and slots_scope \
+                        and not node.decorator_list \
+                        and not _Linter._slots_exempt(node):
+                    findings.append(self.finding(
+                        file, node, "checkpoint-slots",
+                        f"class {node.name} can reach a pickled System "
+                        f"graph ({file.package}/ package) but declares "
+                        f"no __slots__; its __dict__ would carry "
+                        f"unversioned checkpoint state"))
+                for slot in slots or []:
+                    tokens = set(slot.lstrip("_").lower().split("_"))
+                    bad = tokens & UNPICKLABLE_TOKENS
+                    if bad:
+                        findings.append(self.finding(
+                            file, node, "pickle-unsafe-slot",
+                            f"slot {node.name}.{slot} looks like an OS "
+                            f"resource ({', '.join(sorted(bad))}); it "
+                            f"cannot survive a checkpoint pickle"))
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in SCHEDULE_CALLS:
+                for arg in list(node.args) \
+                        + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Lambda):
+                        findings.append(self.finding(
+                            file, arg, "checkpoint-lambda",
+                            f"lambda passed to {node.func.attr}() lands "
+                            f"in the pickled event heap and breaks "
+                            f"save_checkpoint; use a bound method"))
+        return findings
+
+    def _check_manifest(self, ctx: PassContext) -> List[Finding]:
+        checkpoint_file = ctx.by_canonical(CHECKPOINT_MODULE_SUFFIX)
+        if checkpoint_file is None:
+            # partial analyses (single files, mutation self-tests) have
+            # no version constant to check against
+            return []
+        version = _declared_version(checkpoint_file)
+        node = _version_node(checkpoint_file)
+        if version is None:
+            return [self.finding(
+                checkpoint_file, None, "checkpoint-manifest",
+                f"{VERSION_CONSTANT} is missing or not a literal int in "
+                f"{checkpoint_file.canonical}")]
+        manifest_path = ctx.manifest_path \
+            or ctx.data_dir / MANIFEST_FILENAME
+        if not Path(manifest_path).exists():
+            return [self.finding(
+                checkpoint_file, node, "checkpoint-manifest",
+                f"no committed state manifest at {manifest_path}; "
+                f"generate it with 'repro verify analyze "
+                f"--update-manifest'")]
+        stored = json.loads(Path(manifest_path).read_text())
+        classes = collect_manifest_classes(ctx.files)
+        current_hash = manifest_hash(classes)
+        if current_hash == stored.get("hash"):
+            return []
+        if version == stored.get("checkpoint_format_version"):
+            changed = self._changed_classes(
+                stored.get("classes", {}), classes)
+            return [self.finding(
+                checkpoint_file, node, "checkpoint-manifest",
+                f"checkpointed state shape changed ({changed}) but "
+                f"{VERSION_CONSTANT} is still {version}; bump it and "
+                f"regenerate the manifest with --update-manifest")]
+        return [self.finding(
+            checkpoint_file, node, "checkpoint-manifest",
+            f"{VERSION_CONSTANT} is {version} but the manifest was "
+            f"generated for "
+            f"{stored.get('checkpoint_format_version')}; regenerate it "
+            f"with --update-manifest")]
+
+    @staticmethod
+    def _changed_classes(old: Dict, new: Dict) -> str:
+        changed = []
+        for module in sorted(set(old) | set(new)):
+            old_mod = old.get(module, {})
+            new_mod = new.get(module, {})
+            for cls in sorted(set(old_mod) | set(new_mod)):
+                if old_mod.get(cls) != new_mod.get(cls):
+                    changed.append(f"{module}:{cls}")
+        return ", ".join(changed[:8]) or "class set differs"

@@ -1,0 +1,218 @@
+"""service-taxonomy: the HTTP error surface and journal are closed sets.
+
+The job service promises clients a *documented* error taxonomy: every
+failure mode surfaces as a ``ServiceError`` subclass with a stable
+``code`` and HTTP status (``repro.common.errors``), so retry loops can
+dispatch on ``code`` without parsing messages.  And crash recovery
+replays the journal through ``reduce_records``, so a record type that
+writer code emits but the reducer does not fold is silently dropped
+state — the exact corruption the journal exists to prevent.
+
+* ``service-raises`` — ``raise`` statements lexically inside the HTTP
+  handler entry points (``_route_get``/``_route_post``/``do_GET``/
+  ``do_POST``) may only raise documented ``ServiceError`` subclasses
+  (collected from the analyzed ``common/errors.py`` class hierarchy) or
+  call a local factory annotated ``-> ServiceError``.  Anything else
+  would reach clients as an undocumented 500.
+* ``journal-exhaustive`` — every type in ``journal.RECORD_TYPES`` must
+  appear in an equality test inside ``reduce_records``.
+* ``journal-unknown-type`` (warning) — ``reduce_records`` comparing
+  against a type *not* in ``RECORD_TYPES`` suggests a writer/reader
+  skew in the other direction.
+
+Both journal rules (and ``service-raises``) skip silently when the
+module that defines the ground truth is not part of the analyzed file
+set — a single-file analysis has nothing sound to check against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.verify.passes.base import (AnalysisPass, Finding, PassContext,
+                                      SEVERITY_WARNING, SourceFile, dotted)
+
+#: functions whose raises reach HTTP clients directly
+HANDLER_FUNCS = {"_route_get", "_route_post", "do_GET", "do_POST"}
+
+SERVICE_ERROR_BASE = "ServiceError"
+ERRORS_MODULE_SUFFIX = "common/errors.py"
+JOURNAL_MODULE_SUFFIX = "service/journal.py"
+RECORD_TYPES_NAME = "RECORD_TYPES"
+REDUCER_NAME = "reduce_records"
+
+
+def _service_error_names(errors_file: SourceFile) -> Set[str]:
+    """Every class in errors.py descending from ServiceError (by name)."""
+    bases: Dict[str, Set[str]] = {}
+    assert errors_file.tree is not None
+    for node in ast.walk(errors_file.tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {dotted(b) or "" for b in node.bases}
+    names = {SERVICE_ERROR_BASE}
+    changed = True
+    while changed:
+        changed = False
+        for cls, parents in bases.items():
+            if cls not in names and parents & names:
+                names.add(cls)
+                changed = True
+    return names
+
+
+def _record_types(journal_file: SourceFile) -> Optional[List[str]]:
+    assert journal_file.tree is not None
+    for node in ast.walk(journal_file.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name)
+                        and t.id == RECORD_TYPES_NAME
+                        for t in node.targets) \
+                and isinstance(node.value, (ast.Tuple, ast.List)):
+            values = []
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    values.append(element.value)
+            return values
+    return None
+
+
+class ServiceTaxonomyPass(AnalysisPass):
+    name = "service-taxonomy"
+    description = ("HTTP handlers raise only documented ServiceError "
+                   "codes; the journal reducer handles every record "
+                   "type")
+    rules = {
+        "service-raises": "handler raises must be documented "
+                          "ServiceError subclasses (or ServiceError "
+                          "factories)",
+        "journal-exhaustive": "reduce_records must fold every type in "
+                              "RECORD_TYPES",
+        "journal-unknown-type": "reduce_records should not handle "
+                                "record types RECORD_TYPES does not "
+                                "declare",
+    }
+
+    def run(self, ctx: PassContext) -> List[Finding]:
+        findings: List[Finding] = []
+        errors_file = ctx.by_canonical(ERRORS_MODULE_SUFFIX)
+        if errors_file is not None and errors_file.tree is not None:
+            documented = _service_error_names(errors_file)
+            for file in ctx.files:
+                if file.package == "service" and file.tree is not None:
+                    findings.extend(self._check_raises(file, documented))
+        journal_file = ctx.by_canonical(JOURNAL_MODULE_SUFFIX)
+        if journal_file is not None and journal_file.tree is not None:
+            findings.extend(self._check_journal(journal_file))
+        return findings
+
+    # -- handler raise discipline ----------------------------------------
+
+    def _check_raises(self, file: SourceFile,
+                      documented: Set[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        assert file.tree is not None
+        factories = self._factory_names(file)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) \
+                    or node.name not in HANDLER_FUNCS:
+                continue
+            for stmt in ast.walk(node):
+                if not isinstance(stmt, ast.Raise):
+                    continue
+                allowed, what = self._raise_allowed(
+                    stmt, documented, factories)
+                if not allowed:
+                    findings.append(self.finding(
+                        file, stmt, "service-raises",
+                        f"handler {node.name}() raises {what}, which is "
+                        f"not a documented ServiceError subclass; "
+                        f"clients would see an undocumented 500"))
+        return findings
+
+    @staticmethod
+    def _factory_names(file: SourceFile) -> Set[str]:
+        """Module-local functions annotated ``-> ServiceError``-ish."""
+        factories: Set[str] = set()
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.returns is not None:
+                returns = dotted(node.returns) or ""
+                if returns.split(".")[-1].endswith("Error"):
+                    factories.add(node.name)
+        return factories
+
+    @staticmethod
+    def _raise_allowed(stmt: ast.Raise, documented: Set[str],
+                       factories: Set[str]):
+        if stmt.exc is None:
+            return True, ""  # bare re-raise propagates a vetted error
+        exc = stmt.exc
+        if isinstance(exc, ast.Call):
+            name = dotted(exc.func) or "<dynamic>"
+            short = name.split(".")[-1]
+            if short in documented or short in factories:
+                return True, ""
+            return False, f"{short}(...)"
+        name = dotted(exc) or "<dynamic>"
+        short = name.split(".")[-1]
+        if short in documented:
+            return True, ""
+        return False, short
+
+    # -- journal exhaustiveness -------------------------------------------
+
+    def _check_journal(self, file: SourceFile) -> List[Finding]:
+        declared = _record_types(file)
+        if declared is None:
+            return [self.finding(
+                file, None, "journal-exhaustive",
+                f"{RECORD_TYPES_NAME} is missing or not a literal "
+                f"tuple/list of strings in {file.canonical}")]
+        reducer = None
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.FunctionDef) \
+                    and node.name == REDUCER_NAME:
+                reducer = node
+                break
+        if reducer is None:
+            return [self.finding(
+                file, None, "journal-exhaustive",
+                f"{REDUCER_NAME}() not found in {file.canonical}; "
+                f"recovery cannot fold the journal")]
+        handled: Set[str] = set()
+        for node in ast.walk(reducer):
+            # only equality tests dispatch on the record type;
+            # membership tests ("cycles" in data) probe payload keys
+            if isinstance(node, ast.Compare) \
+                    and all(isinstance(op, (ast.Eq, ast.NotEq))
+                            for op in node.ops):
+                for operand in [node.left] + list(node.comparators):
+                    if isinstance(operand, ast.Constant) \
+                            and isinstance(operand.value, str):
+                        handled.add(operand.value)
+                    elif isinstance(operand, (ast.Tuple, ast.Set,
+                                              ast.List)):
+                        for element in operand.elts:
+                            if isinstance(element, ast.Constant) \
+                                    and isinstance(element.value, str):
+                                handled.add(element.value)
+        findings: List[Finding] = []
+        for missing in [t for t in declared if t not in handled]:
+            findings.append(self.finding(
+                file, reducer, "journal-exhaustive",
+                f"record type '{missing}' is declared in "
+                f"{RECORD_TYPES_NAME} but never handled by "
+                f"{REDUCER_NAME}(); replaying a journal containing it "
+                f"would silently drop state"))
+        for extra in sorted(handled - set(declared)):
+            findings.append(self.finding(
+                file, reducer, "journal-unknown-type",
+                f"{REDUCER_NAME}() handles record type '{extra}' that "
+                f"{RECORD_TYPES_NAME} does not declare",
+                severity=SEVERITY_WARNING))
+        return findings

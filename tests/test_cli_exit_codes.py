@@ -62,6 +62,70 @@ class TestVerifyExitCodes:
             main(["verify", "lint", "/no/such/path"])
 
 
+class TestAnalyzeExitCodes:
+    """``repro verify analyze``: 0 clean, 1 findings, 2 internal error —
+    distinct codes so CI can tell "contract violated" from "tool broke"."""
+
+    def test_clean_tree_is_exit_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["verify", "analyze", str(clean)]) == 0
+
+    def test_findings_are_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nnow = time.time()\n")
+        assert main(["verify", "analyze", str(dirty)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_internal_error_is_exit_two(self, tmp_path, capsys,
+                                        monkeypatch):
+        from repro.verify.passes.lint_pass import LintPass
+
+        def boom(self, ctx):
+            raise RuntimeError("synthetic pass crash")
+
+        monkeypatch.setattr(LintPass, "run", boom)
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["verify", "analyze", str(clean)]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_missing_path_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "analyze", "/no/such/path"])
+
+    def test_unknown_pass_exits_nonzero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        with pytest.raises(SystemExit, match="unknown pass"):
+            main(["verify", "analyze", str(clean),
+                  "--passes", "nosuch-pass"])
+
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        from repro.verify.passes import Report
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nnow = time.time()\n")
+        rc = main(["verify", "analyze", str(dirty), "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["summary"]["errors"] >= 1
+        report = Report.from_doc(doc)
+        assert report.to_doc() == doc
+        assert [f.rule for f in report.findings] \
+            == [f["rule"] for f in doc["findings"]]
+
+    def test_json_matches_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nnow = time.time()\n")
+        main(["verify", "analyze", str(dirty), "--json",
+              "--out", str(out)])
+        stdout_doc = json.loads(capsys.readouterr().out)
+        assert json.loads(out.read_text()) == stdout_doc
+
+
 class TestBenchExitCodes:
     def test_unknown_scheme_exits_nonzero(self):
         with pytest.raises(SystemExit, match="unknown scheme"):
