@@ -129,13 +129,83 @@ def _cmd_hardware(_args) -> int:
     return 0
 
 
+def _print_vs_baseline(vs) -> None:
+    per_scheme = ", ".join(
+        f"{label} {speedup}x"
+        for label, speedup in vs["per_scheme"].items())
+    print(f"vs baseline   : {vs['geomean_speedup']}x geomean "
+          f"({per_scheme}; cycle counts identical)")
+    if "defended_geomean_speedup" in vs:
+        print(f"vs baseline   : {vs['defended_geomean_speedup']}x "
+              f"defended geomean")
+
+
+def _cmd_bench_compare(args) -> int:
+    import json as _json
+    from repro.sim.bench import compare_records
+    old_path, new_path = args.compare
+    with open(old_path, "r", encoding="utf-8") as fh:
+        old = _json.load(fh)
+    with open(new_path, "r", encoding="utf-8") as fh:
+        new = _json.load(fh)
+    try:
+        comparison = compare_records(old, new, min_ratio=args.min_ratio)
+    except ValueError as error:
+        raise SystemExit(f"repro bench --compare: {error}")
+    print(f"comparing     : {old_path} -> {new_path} "
+          f"(min ratio {comparison['min_ratio']})")
+    for label, row in comparison["schemes"].items():
+        if row["ratio"] is None:
+            print(f"  {label:<14} {row['status']}")
+            continue
+        print(f"  {label:<14} {row['old_speedup']}x -> "
+              f"{row['new_speedup']}x  (ratio {row['ratio']}, "
+              f"{row['status']})")
+    if "defended_geomean" in comparison:
+        geo = comparison["defended_geomean"]
+        print(f"defended geo  : {geo['old']}x -> {geo['new']}x "
+              f"(ratio {geo['ratio']})")
+    if comparison["regressions"]:
+        print(f"FAIL: regressed scheme(s): "
+              f"{', '.join(comparison['regressions'])}")
+        return 1
+    print("no per-scheme regressions")
+    return 0
+
+
 def _cmd_bench(args) -> int:
-    from repro.sim.bench import run_bench, write_record
+    from repro.sim.bench import (run_bench, run_hotloop_bench,
+                                 write_record)
+    if args.compare:
+        return _cmd_bench_compare(args)
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     hot_apps = [a.strip() for a in args.hot_apps.split(",") if a.strip()]
     hot_schemes = [s.strip() for s in args.hot_schemes.split(",")
                    if s.strip()]
+    if args.hot_only:
+        try:
+            record = run_hotloop_bench(hot_apps, hot_schemes,
+                                       args.instructions,
+                                       baseline_src=args.baseline_src)
+        except (RuntimeError, AssertionError, ValueError) as error:
+            raise SystemExit(f"repro bench: {error}")
+        if args.out:
+            write_record(record, args.out)
+        hot = record["hot_loop"]
+        per_scheme = ", ".join(
+            f"{label} {entry['speedup']}x"
+            for label, entry in hot["per_scheme"].items())
+        print(f"hot loop      : {per_scheme}")
+        if "defended_geomean_speedup" in hot:
+            print(f"hot geomean   : {hot['defended_geomean_speedup']}x "
+                  f"vs reference across defended schemes on "
+                  f"{record['cpus']} cpu(s)")
+        if "hot_loop_vs_baseline" in record:
+            _print_vs_baseline(record["hot_loop_vs_baseline"])
+        if args.out:
+            print(f"record        : {args.out}")
+        return 0
     try:
         record = run_bench(apps, schemes, args.instructions, args.jobs,
                            args.cache_dir, timeout_s=args.timeout,
@@ -173,12 +243,7 @@ def _cmd_bench(args) -> int:
               f"vs reference across defended schemes "
               f"(cycle counts + stats identical per cell)")
     if "hot_loop_vs_baseline" in record:
-        vs = record["hot_loop_vs_baseline"]
-        per_app = ", ".join(
-            f"{app} {entry['speedup']}x"
-            for app, entry in sorted(vs["apps"].items()))
-        print(f"vs baseline   : {vs['geomean_speedup']}x geomean "
-              f"({per_app}; cycle counts identical)")
+        _print_vs_baseline(record["hot_loop_vs_baseline"])
     if args.out:
         print(f"record        : {args.out}")
     if args.require_warm_reuse and warm["simulated"] != 0:
@@ -488,6 +553,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--profile", action="store_true",
                          help="cProfile each phase; top-20 cumulative "
                          "hotspots land in the JSON record")
+    bench_p.add_argument("--hot-only", action="store_true",
+                         help="skip the executor phases; record only the "
+                         "hot-loop matrix (and --baseline-src cross-tree "
+                         "comparison) as a 'hotloop' record")
+    bench_p.add_argument("--compare", nargs=2, default=None,
+                         metavar=("OLD", "NEW"),
+                         help="diff two bench records' hot-loop "
+                         "sections; exit 1 on per-scheme regressions")
+    bench_p.add_argument("--min-ratio", type=float, default=0.9,
+                         help="with --compare: a scheme regresses when "
+                         "new/old engine speedup falls below this "
+                         "(default 0.9)")
     bench_p.set_defaults(func=_cmd_bench)
 
     verify_p = sub.add_parser(

@@ -23,6 +23,7 @@ signal tick-time wakeups with the ``Core._wake_pending`` flag instead.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Callable, List, Tuple
 
 
@@ -49,7 +50,7 @@ class EventQueue:
             raise ValueError(f"cannot schedule at {when}, now is {self.now}")
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (when, seq, callback, args))
+        heappush(self._heap, (when, seq, callback, args))
 
     def schedule_after(self, delay: int, callback: Callable[..., None],
                        *args) -> None:
@@ -59,7 +60,7 @@ class EventQueue:
         """Advance time to ``cycle`` and fire every event due by then."""
         heap = self._heap
         while heap and heap[0][0] <= cycle:
-            when, _, callback, args = heapq.heappop(heap)
+            when, _, callback, args = heappop(heap)
             self.now = when
             callback(*args)
         self.now = cycle

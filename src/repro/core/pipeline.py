@@ -313,6 +313,10 @@ class Core(CorePort):
                 break
             self._retire(head)
             retired += 1
+        if retired:
+            # one batched counter update per stage, not per uop: the
+            # final statistics are identical, the dict traffic is not
+            self.stats.bump("retired", retired)
 
     def _head_may_retire(self, head: ROBEntry) -> bool:
         opclass = head.uop.opclass
@@ -359,7 +363,6 @@ class Core(CorePort):
         self._progress.count += 1
         self.retire_sig = ((self.retire_sig ^ (head.index + 1))
                            * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
-        self.stats.bump("retired")
 
     # ------------------------------------------------------------------
     # VP tracking
@@ -515,18 +518,18 @@ class Core(CorePort):
         entry.addr_ready = True
         opclass = entry.uop.opclass
         self.vp_state.unknown_addr_memops.discard(entry.index)
-        if opclass in (OpClass.STORE, OpClass.ATOMIC):
-            self.vp_state.unknown_addr_stores.discard(entry.index)
-            self._alias_squash_check(entry)
-        if opclass is OpClass.STORE:
-            self._maybe_complete_store(entry)
-        elif opclass is OpClass.LOAD:
+        if opclass is OpClass.LOAD:
             self._waiting_loads.append(entry)
             # a fresh load invalidates any "all stalled" conclusion
             self._waiting_stalled = False
             if self._vp_active and entry.vp_cycle is None:
                 self._vp_frontier.add(entry)
-        # ATOMICs wait for the ROB head (they execute non-speculatively)
+        else:   # STORE / ATOMIC
+            self.vp_state.unknown_addr_stores.discard(entry.index)
+            self._alias_squash_check(entry)
+            if opclass is OpClass.STORE:
+                self._maybe_complete_store(entry)
+            # ATOMICs wait for the ROB head (they run non-speculatively)
 
     def _alias_squash_check(self, store: ROBEntry) -> None:
         """The store's address just became known: any younger load of the
@@ -739,6 +742,8 @@ class Core(CorePort):
             self._dispatch(uop)
             self._cursor += 1
             dispatched += 1
+        if dispatched:
+            self.stats.bump("dispatched", dispatched)
 
     def _dispatch(self, uop: MicroOp) -> None:
         self._wake_pending = True
@@ -754,7 +759,6 @@ class Core(CorePort):
                 self._data_waiters.setdefault(dep, []).append(entry)
                 entry.pending_data_deps += 1
         self.rob.push(entry)
-        self.stats.bump("dispatched")
         vp = self.vp_state
         opclass = uop.opclass
         if opclass is OpClass.LOAD:
@@ -799,11 +803,14 @@ class Core(CorePort):
                 self._fetch_resume,
                 self.events.now + self.config.core.branch_resolve_latency)
         squashed = 0
-        while True:
-            tail = self.rob.tail()
-            if tail is None or tail.index < index:
+        entries = self._rob_entries
+        by_index = self.rob._by_index
+        while entries:
+            tail = entries[-1]
+            if tail.index < index:
                 break
-            self.rob.pop_tail()
+            entries.pop()           # inlined rob.pop_tail
+            del by_index[tail.index]
             self._cleanup_squashed(tail)
             squashed += 1
         self.lq.squash_younger_or_equal(index)
@@ -813,9 +820,11 @@ class Core(CorePort):
 
     def _cleanup_squashed(self, entry: ROBEntry) -> None:
         entry.squashed = True
+        opclass = entry.uop.opclass
+        if opclass is OpClass.INT_ALU or opclass is OpClass.FP_ALU:
+            return      # plain ALU ops (the bulk) track no VP state
         vp = self.vp_state
         index = entry.index
-        opclass = entry.uop.opclass
         if opclass is OpClass.LOAD:
             self._vp_frontier.discard(index)
             vp.unretired_loads.discard(index)

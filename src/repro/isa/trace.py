@@ -15,7 +15,9 @@ class Trace:
     cursor, so the same ``Trace`` serves replay for free.
     """
 
-    __slots__ = ("_uops", "name")
+    # __weakref__ so derived views (repro.isa.compiled) can memoize per
+    # trace without keeping it alive
+    __slots__ = ("_uops", "name", "__weakref__")
 
     def __init__(self, uops: Sequence[MicroOp], name: str = "trace") -> None:
         self._uops: List[MicroOp] = list(uops)
@@ -51,7 +53,9 @@ class Trace:
 class Workload:
     """A named set of per-thread traces that run together on one system."""
 
-    __slots__ = ("traces", "name", "_fingerprint")
+    # __weakref__ so the checkpoint writer (repro.sim.checkpoint) can
+    # memoize the serialized immutable part per workload
+    __slots__ = ("traces", "name", "_fingerprint", "__weakref__")
 
     def __init__(self, traces: Sequence[Trace],
                  name: str = "workload") -> None:

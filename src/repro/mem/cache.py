@@ -106,6 +106,33 @@ class CacheArray:
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    # -- checkpoint shape (format v3) ----------------------------------
+    #
+    # A tag array is mostly empty sets: pickling one ``LRUSet`` object
+    # per set made cache state the bulk of every checkpoint (tens of
+    # thousands of objects for an LLC).  Serialize only the occupied
+    # sets as ``(set_index, [(line, state), ...])`` rows — the item
+    # order of each row is the set's LRU->MRU order, so a restored
+    # array replays identical victim choices.
+
+    def __getstate__(self):
+        return {"params": self.params,
+                "occupied": [(index, list(s._lines.items()))
+                             for index, s in enumerate(self._sets)
+                             if s._lines]}
+
+    def __setstate__(self, state) -> None:
+        params = state["params"]
+        self.params = params
+        self.num_sets = params.sets
+        self._mask = self.num_sets - 1
+        ways = params.ways
+        self._sets = [LRUSet(ways) for _ in range(self.num_sets)]
+        for index, items in state["occupied"]:
+            lines = self._sets[index]._lines
+            for line, value in items:
+                lines[line] = value
+
 
 class MSHR:
     """A miss-status holding register: one outstanding line fill.

@@ -31,13 +31,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
-from repro.common.params import PinningMode, ThreatModel
+from repro.common.params import PinningMode
 from repro.common.stats import StatSet
 from repro.core.rob import ROBEntry
 from repro.pinning.cpt import CannotPinTable
 from repro.pinning.cst import CacheShadowTable
 from repro.pinning.recording import L1TagPinRecord
-from repro.security.threat import conditions_before_mcv
+
+#: "No live value" sentinel for hoisted LazyMinSet mins (above any index).
+_NO_MIN = 1 << 62
 
 
 class PinnedLoadsController:
@@ -202,29 +204,54 @@ class PinnedLoadsController:
                 self.dir_cst.clear()
             else:
                 return
-        for load in self.core.lq:
+        loads = self.core.lq._loads
+        if not loads:
+            return
+        # The pin chain never mutates the VP condition sets (it marks
+        # ``mcv_safe``/``vp_cycle`` and touches CST/CPT state only), so
+        # each set's min is read once per chain run instead of once per
+        # ``none_below`` probe per load.  The pre-MCV conditions
+        # (branches + alias + exception windows, per
+        # ``conditions_before_mcv`` at the EXCEPT level) merge into one
+        # bound: they are all side-effect-free index compares.
+        vp = self.core.vp_state
+        m = vp.unresolved_branches.min()
+        bound = m if m is not None else _NO_MIN
+        m = vp.unknown_addr_stores.min()
+        if m is not None and m < bound:
+            bound = m
+        m = vp.unknown_addr_memops.min()
+        if m is not None and m < bound:
+            bound = m
+        m = vp.serializing.min()
+        ser_bound = m if m is not None else _NO_MIN
+        m = vp.unretired_loads.min()
+        url_bound = m if m is not None else _NO_MIN
+        for load in loads:
             if load.mcv_safe:
                 continue
-            if not self._try_make_safe(load):
+            if not self._try_make_safe(load, bound, ser_bound, url_bound):
                 break
 
-    def _try_make_safe(self, load: ROBEntry) -> bool:
+    def _try_make_safe(self, load: ROBEntry, bound: int, ser_bound: int,
+                       url_bound: int) -> bool:
         """Try to make the first non-safe load MCV-safe.  Returns True when
-        the chain may continue to the next (younger) load this cycle."""
+        the chain may continue to the next (younger) load this cycle.
+        The bounds are the chain-constant set mins hoisted by ``tick``
+        (``_NO_MIN`` when the set is empty)."""
         # forwarded loads never read a cache line: trivially MCV-safe
         if load.forwarded and load.performed:
             load.mcv_safe = True
             self.core.note_vp_reached(load)
             return True
-        vp = self.core.vp_state
-        if not conditions_before_mcv(load, ThreatModel.EXCEPT.level, vp):
+        index = load.index
+        if not load.addr_ready or bound < index:
             return False
-        if not vp.serializing.none_below(load.index):
+        if ser_bound < index:
             self._deny(load, "pin_denied_serializing")
             return False
         # oldest-load exemption: no pin resources needed (§3.3)
-        if self.params.aggressive_tso \
-                and vp.unretired_loads.none_below(load.index):
+        if self.params.aggressive_tso and url_bound >= index:
             load.mcv_safe = True
             self.stats.bump("oldest_exemptions")
             self.core.note_vp_reached(load)
@@ -255,11 +282,18 @@ class PinnedLoadsController:
 
     def _write_buffer_ok(self, load: ROBEntry) -> bool:
         """§5.1.2: every yet-to-complete store older than the load must fit
-        in the write buffer, or the Figure 4 deadlock becomes possible."""
-        older_sq_stores = sum(1 for store in self.core.sq
-                              if store.index < load.index)
-        return older_sq_stores + len(self.core.write_buffer) \
-            <= self.core.write_buffer.capacity
+        in the write buffer, or the Figure 4 deadlock becomes possible.
+        The SQ is program-ordered, so the older-store count stops at the
+        first younger store."""
+        index = load.index
+        older_sq_stores = 0
+        for store in self.core.sq._stores:
+            if store.index >= index:
+                break
+            older_sq_stores += 1
+        write_buffer = self.core.write_buffer
+        return older_sq_stores + len(write_buffer._entries) \
+            <= write_buffer.capacity
 
     # -- Early Pinning -------------------------------------------------
 

@@ -50,19 +50,28 @@ class TaintTracker:
         if uop.is_load:
             self._output_roots[uop.index] = frozenset((uop.index,))
             return
+        output_roots = self._output_roots
         roots = _EMPTY
         for dep in uop.deps:
-            dep_roots = self._output_roots.get(dep, _EMPTY)
+            dep_roots = output_roots.get(dep)
             if dep_roots:
                 roots = roots | self._live_subset(dep_roots)
-        self._output_roots[uop.index] = roots
+        output_roots[uop.index] = roots
 
     def _live_subset(self, roots: FrozenSet[int]) -> FrozenSet[int]:
-        """Drop roots that are already architectural (retired / post-VP)."""
-        live = {r for r in roots if self._is_live_pre_vp(r)}
-        if len(live) == len(roots):
+        """Drop roots that are already architectural (retired / post-VP).
+        The all-live case (by far the most common) allocates nothing."""
+        find = self._rob._by_index.get
+        # order-insensitive probe: any dead root takes the same fallback
+        for root in roots:  # repro: allow-set-iteration
+            producer = find(root)
+            if producer is None or producer.vp_cycle is not None:
+                break
+        else:
             return roots
-        return frozenset(live)
+        return frozenset(
+            r for r in roots
+            if (p := find(r)) is not None and p.vp_cycle is None)
 
     def _is_live_pre_vp(self, root_index: int) -> bool:
         entry: Optional[ROBEntry] = self._rob.find(root_index)
@@ -70,10 +79,15 @@ class TaintTracker:
 
     def addr_tainted(self, entry: ROBEntry) -> bool:
         """Is the load's address derived from a pre-VP speculative load?"""
+        output_roots = self._output_roots
+        find = self._rob._by_index.get
         for dep in entry.uop.deps:
-            for root in self._output_roots.get(dep, _EMPTY):
-                if self._is_live_pre_vp(root):
-                    return True
+            roots = output_roots.get(dep)
+            if roots:
+                for root in roots:
+                    producer = find(root)
+                    if producer is not None and producer.vp_cycle is None:
+                        return True
         return False
 
     def output_roots(self, index: int) -> FrozenSet[int]:

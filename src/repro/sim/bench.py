@@ -212,39 +212,46 @@ def _run_phase(name: str, fn: Callable[[], object],
 
 
 #: Timed in a subprocess against each source tree by ``--baseline-src``;
-#: kept as data so both trees run byte-identical measurement code.
+#: kept as data so both trees run byte-identical measurement code.  The
+#: probe imports only API that both trees share (``scheme_config`` has
+#: been stable since the scheme grid landed), so one string measures
+#: any (scheme, app) cell under either checkout.
 _BASELINE_PROBE = """
 import json, sys, time
-from repro.common.params import SystemConfig
+from repro.sim.bench import scheme_config
 from repro.sim.system import System
 from repro.workloads import spec17_workload
 
 apps = sys.argv[1].split(",")
 instructions = int(sys.argv[2])
+schemes = sys.argv[3].split(",")
 results = {}
 for app in apps:
     wl = spec17_workload(app, instructions=instructions)
-    best, cycles = float("inf"), None
-    for _ in range(3):
-        system = System(SystemConfig(), wl)
-        system.mem.warm(wl)
-        t0 = time.perf_counter()
-        cycles = system.run()
-        best = min(best, time.perf_counter() - t0)
-    results[app] = {"seconds": round(best, 4), "cycles": cycles}
+    for label in schemes:
+        config = scheme_config(label)
+        best, cycles = float("inf"), None
+        for _ in range(3):
+            system = System(config, wl)
+            system.mem.warm(wl)
+            t0 = time.perf_counter()
+            cycles = system.run()
+            best = min(best, time.perf_counter() - t0)
+        results[label + ":" + app] = {"seconds": round(best, 4),
+                                      "cycles": cycles}
 print(json.dumps(results))
 """
 
 
-def _probe_tree(src: str, apps: List[str],
-                instructions: int) -> Dict[str, Dict[str, object]]:
+def _probe_tree(src: str, apps: List[str], instructions: int,
+                schemes: List[str]) -> Dict[str, Dict[str, object]]:
     # constructing a *subprocess* environment, not reading config: the
     # probe pins PYTHONPATH/PYTHONHASHSEED, inheriting the rest verbatim
     env = dict(os.environ,  # repro: allow-env-read
                PYTHONPATH=src, PYTHONHASHSEED="0")
     proc = subprocess.run(
         [sys.executable, "-c", _BASELINE_PROBE, ",".join(apps),
-         str(instructions)],
+         str(instructions), ",".join(schemes)],
         capture_output=True, text=True, env=env)
     if proc.returncode:
         raise RuntimeError(
@@ -253,40 +260,57 @@ def _probe_tree(src: str, apps: List[str],
 
 
 def baseline_comparison(baseline_src: str, apps: List[str],
-                        instructions: int) -> Dict[str, object]:
+                        instructions: int,
+                        schemes: Optional[List[str]] = None,
+                        ) -> Dict[str, object]:
     """Time ``System.run`` under another source tree (e.g. the pre-PR
     seed checkout) against this tree, on identical workloads, in
     separate fixed-hash-seed subprocesses.  Asserts cycle counts agree
-    — the optimization must not change simulated behaviour across
-    versions either."""
+    per (scheme, app) cell — the optimization must not change simulated
+    behaviour across versions either.  Defaults to the unsafe baseline
+    scheme; pass defended labels to measure the specialized loops."""
+    schemes = list(schemes) if schemes else ["unsafe"]
     here = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
-    baseline = _probe_tree(baseline_src, apps, instructions)
-    current = _probe_tree(here, apps, instructions)
-    per_app: Dict[str, object] = {}
-    for app in apps:
-        base, cur = baseline[app], current[app]
-        if base["cycles"] != cur["cycles"]:
-            raise AssertionError(
-                f"{app}: cycle count changed vs baseline "
-                f"({base['cycles']} != {cur['cycles']})")
-        per_app[app] = {
-            "baseline_seconds": base["seconds"],
-            "optimized_seconds": cur["seconds"],
-            "cycles": cur["cycles"],
-            "speedup": round(base["seconds"]
-                             / max(cur["seconds"], 1e-9), 3),
-        }
-    speedups = [per_app[app]["speedup"] for app in apps]
-    product = 1.0
-    for s in speedups:
-        product *= s
-    return {
+    baseline = _probe_tree(baseline_src, apps, instructions, schemes)
+    current = _probe_tree(here, apps, instructions, schemes)
+    cells: Dict[str, object] = {}
+    per_scheme: Dict[str, float] = {}
+    defended: List[float] = []
+    for label in schemes:
+        speedups: List[float] = []
+        for app in apps:
+            key = f"{label}:{app}"
+            base, cur = baseline[key], current[key]
+            if base["cycles"] != cur["cycles"]:
+                raise AssertionError(
+                    f"{key}: cycle count changed vs baseline "
+                    f"({base['cycles']} != {cur['cycles']})")
+            speedup = round(base["seconds"]
+                            / max(cur["seconds"], 1e-9), 3)
+            cells[key] = {
+                "baseline_seconds": base["seconds"],
+                "optimized_seconds": cur["seconds"],
+                "cycles": cur["cycles"],
+                "speedup": speedup,
+            }
+            speedups.append(speedup)
+        per_scheme[label] = round(geomean(speedups), 3)
+        if label != "unsafe":
+            defended.append(per_scheme[label])
+    comparison: Dict[str, object] = {
         "baseline_src": baseline_src,
         "instructions_per_app": instructions,
-        "apps": per_app,
-        "geomean_speedup": round(product ** (1.0 / len(speedups)), 3),
+        "schemes": list(schemes),
+        "cells": cells,
+        "per_scheme": per_scheme,
+        "geomean_speedup": round(
+            geomean(cell["speedup"] for cell in cells.values()), 3),
     }
+    if defended:
+        comparison["defended_geomean_speedup"] = round(
+            geomean(defended), 3)
+    return comparison
 
 
 def run_bench(apps: List[str], schemes: List[str], instructions: int,
@@ -388,6 +412,85 @@ def run_bench(apps: List[str], schemes: List[str], instructions: int,
     if profiles is not None:
         record["profile"] = profiles
     return record
+
+
+def run_hotloop_bench(hot_apps: List[str], hot_schemes: List[str],
+                      instructions: int, repeats: int = 3,
+                      baseline_src: Optional[str] = None,
+                      ) -> Dict[str, object]:
+    """The hot-loop-only record (``repro bench --hot-only``, committed
+    as ``BENCH_hotloop.json``): the specialized-engine vs reference
+    matrix, plus — when ``baseline_src`` points at another checkout —
+    the same scheme set timed cross-tree.  No executor phases, so the
+    record isolates single-process engine throughput; ``cpus`` is
+    still recorded because wall-clock numbers are machine-bound."""
+    record: Dict[str, object] = {
+        "bench": "hotloop",
+        "cpus": os.cpu_count(),
+        "hot_loop": hot_loop_matrix(hot_apps, hot_schemes, instructions,
+                                    repeats=repeats),
+    }
+    if baseline_src is not None:
+        record["hot_loop_vs_baseline"] = baseline_comparison(
+            baseline_src, list(hot_apps), instructions,
+            schemes=list(hot_schemes))
+    return record
+
+
+def compare_records(old: Dict[str, object], new: Dict[str, object],
+                    min_ratio: float = 0.9) -> Dict[str, object]:
+    """Diff two bench records' hot-loop matrices (``repro bench
+    --compare OLD NEW``).
+
+    Wall-clock seconds are machine-bound, so the comparison uses the
+    machine-independent quantity both records carry: each scheme's
+    engine-vs-reference speedup (a ratio of two runs on the *same*
+    machine).  A scheme regresses when ``new/old`` falls below
+    ``min_ratio``; schemes present in only one record are listed but
+    never counted as regressions."""
+    old_schemes = old.get("hot_loop", {}).get("per_scheme", {})
+    new_schemes = new.get("hot_loop", {}).get("per_scheme", {})
+    if not old_schemes or not new_schemes:
+        raise ValueError(
+            "both records need a hot_loop.per_scheme section "
+            "(produced by `repro bench` / `repro bench --hot-only`)")
+    rows: Dict[str, object] = {}
+    regressions: List[str] = []
+    for label in sorted(set(old_schemes) | set(new_schemes)):
+        old_entry = old_schemes.get(label)
+        new_entry = new_schemes.get(label)
+        if old_entry is None or new_entry is None:
+            rows[label] = {
+                "old_speedup": old_entry and old_entry["speedup"],
+                "new_speedup": new_entry and new_entry["speedup"],
+                "ratio": None,
+                "status": "only-old" if new_entry is None else "only-new",
+            }
+            continue
+        ratio = round(new_entry["speedup"]
+                      / max(old_entry["speedup"], 1e-9), 3)
+        regressed = ratio < min_ratio
+        rows[label] = {
+            "old_speedup": old_entry["speedup"],
+            "new_speedup": new_entry["speedup"],
+            "ratio": ratio,
+            "status": "regressed" if regressed else "ok",
+        }
+        if regressed:
+            regressions.append(label)
+    comparison: Dict[str, object] = {
+        "min_ratio": min_ratio,
+        "schemes": rows,
+        "regressions": regressions,
+    }
+    old_geo = old.get("hot_loop", {}).get("defended_geomean_speedup")
+    new_geo = new.get("hot_loop", {}).get("defended_geomean_speedup")
+    if old_geo and new_geo:
+        comparison["defended_geomean"] = {
+            "old": old_geo, "new": new_geo,
+            "ratio": round(new_geo / max(old_geo, 1e-9), 3),
+        }
+    return comparison
 
 
 def write_record(record: Dict[str, object], out: str) -> None:

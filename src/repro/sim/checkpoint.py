@@ -7,6 +7,19 @@ Everything the next cycle depends on lives in that graph, so a resumed
 run is *bit-identical* to an uninterrupted one (asserted per scheme by
 ``tests/test_checkpoint.py``).
 
+Format 3 splits the payload into an *immutable* part and a *run-state*
+part.  The trace graph — ``Workload``, its ``Trace`` objects, and every
+``MicroOp`` — dominates the old deep pickle but never changes after
+construction, so the writer serializes it once per workload (memoized
+weakly) and replaces every reference from run state with a persistent
+id ``(thread, index)`` into that graph.  A rolling checkpoint then
+re-serializes only the mutable machine state (ROB entries, queues,
+cache tags, pending events): near-free snapshots whose cost scales with
+the in-flight window, not the trace length.  The specialized engine's
+derived arrays (``repro.isa.compiled``) are never checkpoint state —
+``System.__getstate__`` drops the engine and it is rebuilt lazily after
+a restore.
+
 Two deliberate restrictions:
 
 * A sanitized system (``config.sanitize``) cannot be checkpointed: the
@@ -26,20 +39,76 @@ resume SIGKILLed or timed-out tasks.
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
 import tempfile
-from typing import Optional
+import weakref
+from typing import Dict, Optional, Tuple
 
 from repro.common.errors import CheckpointError
+from repro.isa.trace import Workload
 
 #: Bump whenever simulator state layout changes incompatibly; resuming
 #: from an old checkpoint then fails loudly instead of corrupting a run.
-#: Bumped to 2 when the core grew event-driven wakeup state
-#: (``_vp_frontier``, ``_wake_pending``, ``_waiting_stalled``) and the
-#: pinning controller its episode-denial map: checkpoints taken before
-#: that change would unpickle into cores missing those attributes.
-CHECKPOINT_FORMAT_VERSION = 2
+#: 2: the core grew event-driven wakeup state (``_vp_frontier``,
+#: ``_wake_pending``, ``_waiting_stalled``) and the pinning controller
+#: its episode-denial map.
+#: 3: split immutable trace graph / mutable run state (persistent-id
+#: externalization above); v2 whole-graph checkpoints no longer restore.
+CHECKPOINT_FORMAT_VERSION = 3
+
+#: Per-workload memo of the serialized immutable part and the
+#: ``id(object) -> persistent id`` table.  Weak keys: the memo must not
+#: keep finished workloads alive.  The id-keyed table is safe because
+#: the (strongly referenced) workload pins every trace and uop for at
+#: least as long as its memo entry exists.
+_IMMUTABLE_MEMO: "weakref.WeakKeyDictionary[Workload, Tuple[bytes, Dict[int, tuple]]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _immutable_part(workload: Workload) -> Tuple[bytes, Dict[int, tuple]]:
+    memo = _IMMUTABLE_MEMO.get(workload)
+    if memo is None:
+        table: Dict[int, tuple] = {
+            id(workload): ("workload",)}  # repro: allow-id-ordering
+        for t, trace in enumerate(workload.traces):
+            table[id(trace)] = ("trace", t)  # repro: allow-id-ordering
+            for i, uop in enumerate(trace):
+                table[id(uop)] = ("uop", t, i)  # repro: allow-id-ordering
+        blob = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
+        memo = (blob, table)
+        _IMMUTABLE_MEMO[workload] = memo
+    return memo
+
+
+class _StatePickler(pickle.Pickler):
+    """Pickles run state, externalizing the immutable trace graph."""
+
+    def __init__(self, file, table: Dict[int, tuple]) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._table = table
+
+    def persistent_id(self, obj):
+        return self._table.get(id(obj))  # repro: allow-id-ordering
+
+
+class _StateUnpickler(pickle.Unpickler):
+    """Resolves persistent ids against a freshly restored workload."""
+
+    def __init__(self, file, workload: Workload) -> None:
+        super().__init__(file)
+        self._workload = workload
+
+    def persistent_load(self, pid):
+        kind = pid[0]
+        if kind == "uop":
+            return self._workload.traces[pid[1]][pid[2]]
+        if kind == "trace":
+            return self._workload.traces[pid[1]]
+        if kind == "workload":
+            return self._workload
+        raise CheckpointError(f"unknown persistent id {pid!r}")
 
 
 def snapshot_system(system) -> bytes:
@@ -49,14 +118,19 @@ def snapshot_system(system) -> bytes:
             "cannot checkpoint a sanitized system: the sanitizer wraps "
             "instance methods with closures that do not survive "
             "pickling; run with sanitize=False to checkpoint")
-    payload = {"format": CHECKPOINT_FORMAT_VERSION,
-               "cycle": system.cycles, "system": system}
+    workload_blob, table = _immutable_part(system.workload)
+    buffer = io.BytesIO()
     try:
-        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        _StatePickler(buffer, table).dump(system)
     except Exception as err:
         raise CheckpointError(
             f"system state is not serializable: "
             f"{type(err).__name__}: {err}") from err
+    payload = {"format": CHECKPOINT_FORMAT_VERSION,
+               "cycle": system.cycles,
+               "workload": workload_blob,
+               "state": buffer.getvalue()}
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def restore_system(blob: bytes):
@@ -73,7 +147,15 @@ def restore_system(blob: bytes):
         raise CheckpointError(
             f"checkpoint format {found!r} does not match "
             f"{CHECKPOINT_FORMAT_VERSION}")
-    return payload["system"]
+    try:
+        workload = pickle.loads(payload["workload"])
+        return _StateUnpickler(io.BytesIO(payload["state"]),
+                               workload).load()
+    except CheckpointError:
+        raise
+    except Exception as err:
+        raise CheckpointError(
+            f"corrupt checkpoint: {type(err).__name__}: {err}") from err
 
 
 def save_checkpoint(system, path: str) -> None:

@@ -1,0 +1,939 @@
+"""Per-scheme specialized run loops over struct-of-arrays trace state.
+
+``System.run`` delegates here when the configured defense belongs to one
+of the specialized families (unsafe / fence / DOM / STT — the 13-scheme
+paper grid) and no sanitizer is attached.  ``build_engine`` compiles each
+core's trace once (``repro.isa.compiled``) and closes a dedicated
+``tick``/``quiet_until`` pair over the core's hot state:
+
+* every scheme flag, threat-model level, latency, and capacity that the
+  generic ``Core.tick`` re-reads through attribute/property chains each
+  cycle is bound once as a closure constant, so the inner loop carries
+  no per-cycle scheme dispatch;
+* the per-uop object probes on the dispatch and quiet paths
+  (``uop.is_load`` property calls, ``OpClass`` identity ladders) become
+  single byte-array reads indexed by the cursor the core already keeps;
+* the ready/waiting-load scans compact their lists in place instead of
+  reallocating them every cycle;
+* the pre-VP issue-mode test is inlined per defense family: fence
+  (post-VP only), DOM (post-VP or L1 hit), STT (post-VP or untainted
+  address), unsafe (always), instead of two virtual calls per load per
+  scan.
+
+Behaviour is bit-exact against ``Core.tick`` / ``System.run_ticked`` and
+against the seed ``run_reference`` oracle: same event schedule (the tie
+break is the queue's insertion sequence, so the engine issues exactly
+the calls the generic path would), same statistics, same retire
+signatures.  Parity is asserted per grid cell by ``repro bench`` and by
+``tests/test_soa_parity.py``, chaos on and off.
+
+One refinement beyond the generic tick is the stalled-scan skip: when
+every waiting load was stalled by its scheme (``_waiting_stalled``) and
+nothing re-armed the core's ``_wake_pending`` flag, the scan is provably
+a no-op (the ``Core.quiet_until`` fixpoint contract — issue modes only
+flip via flagged mutations or events) and is skipped even while other
+stages stay busy.  The generic loop reaches the same conclusion only
+when the whole core is quiet.
+
+The engine holds no simulated state of its own: everything lives in the
+ordinary object model, so checkpoints, diagnostics, and the reference
+loops see one world.  Engines are rebuilt lazily after a checkpoint
+restore (``System.__getstate__`` drops them).
+"""
+
+from __future__ import annotations
+
+import gc
+import operator
+from functools import partial
+from heapq import heappush
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import DeadlockError
+from repro.common.params import DefenseKind, PinningMode, ThreatModel
+from repro.core.pipeline import L1_PORTS, QUIET_FOREVER, Core
+from repro.core.rob import ROBEntry
+from repro.isa.compiled import (OP_ATOMIC, OP_BARRIER, OP_BRANCH, OP_FENCE,
+                                OP_FP_ALU, OP_INT_ALU, OP_LOAD, OP_STORE,
+                                CompiledTrace, compile_trace)
+
+#: Defense families with a specialized inner loop.  Anything else (e.g.
+#: invisible speculation, which is outside the paper's 13-scheme grid)
+#: falls back to the generic guarded tick loop.
+SPECIALIZED_DEFENSES = frozenset({
+    DefenseKind.UNSAFE, DefenseKind.FENCE, DefenseKind.DOM, DefenseKind.STT,
+})
+
+_by_index = operator.attrgetter("index")
+
+#: Sentinel for "no live value" when a LazyMinSet min is hoisted into a
+#: plain integer compare (safely above any uop index).
+_NO_MIN = 1 << 62
+
+# Several closures below push heap entries directly instead of calling
+# ``EventQueue.schedule_after``.  The entry layout ``(when, seq,
+# callback, args)`` and the plain-int ``_seq`` post-increment replicate
+# ``EventQueue.schedule`` exactly (same tie-break order, same pickled
+# shape); the not-in-the-past guard is dropped because every inlined
+# site schedules at ``now + latency`` with a non-negative latency.  The
+# callbacks stay bound core methods / partials — never engine closures —
+# so a mid-run checkpoint still pickles the heap.
+
+
+def _make_issue_ready(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
+    """Specialized ready-uop issue: the ``_begin_execution`` opclass
+    ladder collapses to one byte read, with the event callbacks and
+    latencies bound as closure constants."""
+    cp = core.config.core
+    width = cp.width
+    int_lat = cp.int_latency
+    fp_lat = cp.fp_latency
+    branch_lat = cp.branch_exec_latency
+    agen_lat = cp.agen_latency
+    events = core.events
+    heap = events._heap
+    complete = core._complete
+    on_branch = core._on_branch_resolved
+    on_addr = core._on_addr_ready
+    opcodes = compiled.opcodes
+
+    def issue_ready() -> None:  # repro: hot
+        ready = core._ready
+        ready.sort(key=_by_index)
+        budget = width
+        now = events.now       # constant within one tick
+        w = 0
+        for entry in ready:
+            if entry.squashed:
+                continue
+            if budget == 0:
+                ready[w] = entry
+                w += 1
+                continue
+            budget -= 1
+            code = opcodes[entry.index]
+            if code <= OP_BRANCH:
+                entry.issued = True
+                if code == OP_INT_ALU:
+                    when = now + int_lat
+                    callback = complete
+                elif code == OP_FP_ALU:
+                    when = now + fp_lat
+                    callback = complete
+                else:
+                    when = now + branch_lat
+                    callback = on_branch
+            elif code == OP_FENCE or code == OP_BARRIER:
+                raise AssertionError(f"unexpected ready uop {entry}")
+            else:
+                # LOAD / STORE / ATOMIC: address generation only;
+                # "issued" is reserved for the actual memory access
+                when = now + agen_lat
+                callback = on_addr
+            seq = events._seq
+            events._seq = seq + 1
+            heappush(heap, (when, seq, callback, (entry,)))
+        del ready[w:]
+
+    return issue_ready
+
+
+def _make_issue_one(core: Core) -> Callable:
+    """Inlined ``Core._issue_load``: forwarding probe, stat counting and
+    the memory request with the closure-hoisted collaborators.  Returns
+    ``1`` when the load went to memory, ``0`` when it was forwarded, so
+    the caller can batch the two stat counters per scan.
+
+    The memory callback stays a ``partial`` over the *core's* bound
+    method — never an engine closure — so a checkpoint taken with the
+    fill in flight still pickles (the engine is not checkpoint state).
+    """
+    sq = core.sq
+    wb_lines = core.write_buffer._line_counts
+    events = core.events
+    heap = events._heap
+    complete = core._complete
+    mem_load = core.mem.load
+    on_load_data = core._on_load_data
+    core_id = core.core_id
+
+    def issue_one(entry) -> int:  # repro: hot
+        entry.issued = True
+        index = entry.index
+        line = entry.line
+        # inlined StoreQueue.forwarding_store: youngest older same-line
+        # store with a known address (``_stores`` is reassigned on
+        # squashes, so it is read through the queue each call)
+        forwarding = None
+        for store in sq._stores:
+            if store.index >= index:
+                break
+            if store.addr_ready and store.line == line:
+                forwarding = store
+        if forwarding is None and line in wb_lines:
+            forwarding = entry     # forwarded from the write buffer
+        if forwarding is not None:
+            entry.forwarded = True
+            entry.performed = True
+            seq = events._seq
+            events._seq = seq + 1
+            heappush(heap, (events.now + 1, seq, complete, (entry,)))
+            return 0
+        entry.outstanding = True
+        mem_load(core_id, entry.line, partial(on_load_data, entry))
+        return 1
+
+    return issue_one
+
+
+def _make_issue_loads(core: Core) -> Callable[[], None]:
+    """Specialized ``_issue_waiting_loads``: same sort / port budget /
+    keep / ``_waiting_stalled`` contract as the generic stage, with the
+    two-virtual-call pre-VP issue-mode test inlined per defense family,
+    the issue path inlined (``_make_issue_one``), the per-load stat
+    bumps batched per scan, and the keep list compacted in place."""
+    defense = core.config.defense
+    issue = _make_issue_one(core)
+    stats = core.stats
+
+    if defense is DefenseKind.UNSAFE:
+        def issue_loads() -> None:  # repro: hot
+            wl = core._waiting_loads
+            wl.sort(key=_by_index)
+            budget = L1_PORTS
+            stalled_only = True
+            issued = missed = 0
+            w = 0
+            for entry in wl:
+                if entry.squashed or entry.issued:
+                    continue
+                if budget:
+                    budget -= 1
+                    issued += 1
+                    missed += issue(entry)
+                    continue
+                stalled_only = False
+                wl[w] = entry
+                w += 1
+            del wl[w:]
+            core._waiting_stalled = stalled_only
+            if issued:
+                if missed:
+                    stats.bump("loads_issued", missed)
+                if issued > missed:
+                    stats.bump("loads_forwarded", issued - missed)
+
+    elif defense is DefenseKind.FENCE:
+        def issue_loads() -> None:  # repro: hot
+            wl = core._waiting_loads
+            wl.sort(key=_by_index)
+            budget = L1_PORTS
+            stalled_only = True
+            issued = missed = 0
+            w = 0
+            for entry in wl:
+                if entry.squashed or entry.issued:
+                    continue
+                if entry.vp_cycle is not None:
+                    if budget:
+                        budget -= 1
+                        issued += 1
+                        missed += issue(entry)
+                        continue
+                    stalled_only = False
+                wl[w] = entry
+                w += 1
+            del wl[w:]
+            core._waiting_stalled = stalled_only
+            if issued:
+                if missed:
+                    stats.bump("loads_issued", missed)
+                if issued > missed:
+                    stats.bump("loads_forwarded", issued - missed)
+
+    elif defense is DefenseKind.DOM:
+        # inlined CoherentMemory.l1_hit -> CacheArray.lookup(touch=False):
+        # a hit probe is one dict membership test per waiting load.  The
+        # per-set ``_lines`` dicts are stable attributes (mutated, never
+        # reassigned), so the hoisted list stays live.
+        l1 = core.mem.l1s[core.core_id]
+        l1_mask = l1._mask
+        l1_lines = [lru._lines for lru in l1._sets]
+
+        def issue_loads() -> None:  # repro: hot
+            wl = core._waiting_loads
+            wl.sort(key=_by_index)
+            budget = L1_PORTS
+            stalled_only = True
+            issued = missed = 0
+            w = 0
+            for entry in wl:
+                if entry.squashed or entry.issued:
+                    continue
+                line = entry.line
+                if entry.vp_cycle is not None \
+                        or line in l1_lines[line & l1_mask]:
+                    if budget:
+                        budget -= 1
+                        issued += 1
+                        missed += issue(entry)
+                        continue
+                    stalled_only = False
+                wl[w] = entry
+                w += 1
+            del wl[w:]
+            core._waiting_stalled = stalled_only
+            if issued:
+                if missed:
+                    stats.bump("loads_issued", missed)
+                if issued > missed:
+                    stats.bump("loads_forwarded", issued - missed)
+
+    elif defense is DefenseKind.STT:
+        roots_map = core.taint._output_roots
+        find = core.rob._by_index.get
+
+        def issue_loads() -> None:  # repro: hot
+            wl = core._waiting_loads
+            wl.sort(key=_by_index)
+            budget = L1_PORTS
+            stalled_only = True
+            issued = missed = 0
+            w = 0
+            for entry in wl:
+                if entry.squashed or entry.issued:
+                    continue
+                if entry.vp_cycle is not None:
+                    eligible = True
+                else:
+                    # inlined TaintTracker.addr_tainted: is the address
+                    # rooted at a live pre-VP speculative load?
+                    eligible = True
+                    for dep in entry.uop.deps:
+                        roots = roots_map.get(dep)
+                        if roots:
+                            for root in roots:
+                                producer = find(root)
+                                if producer is not None \
+                                        and producer.vp_cycle is None:
+                                    eligible = False
+                                    break
+                            if not eligible:
+                                break
+                if eligible:
+                    if budget:
+                        budget -= 1
+                        issued += 1
+                        missed += issue(entry)
+                        continue
+                    stalled_only = False
+                wl[w] = entry
+                w += 1
+            del wl[w:]
+            core._waiting_stalled = stalled_only
+            if issued:
+                if missed:
+                    stats.bump("loads_issued", missed)
+                if issued > missed:
+                    stats.bump("loads_forwarded", issued - missed)
+
+    else:  # pragma: no cover - build_engine filters these out
+        raise AssertionError(f"no specialized issue loop for {defense}")
+
+    return issue_loads
+
+
+def _make_update_vps(core: Core) -> Callable[[], None]:
+    """Specialized VP walk: threat-model levels and the pinning-mode
+    branch become closure constants; the frontier's generator is
+    inlined to one sorted pass over its index map."""
+    level = core.config.threat_model.level
+    chk_alias = level >= ThreatModel.ALIAS.level
+    chk_except = level >= ThreatModel.EXCEPT.level
+    chk_mcv = level >= ThreatModel.MCV.level
+    pinned_mode = core._pinning
+    aggressive = core.config.pinning.aggressive_tso
+    vp = core.vp_state
+    frontier = core._vp_frontier._entries
+    ub_min = vp.unresolved_branches.min
+    uas_min = vp.unknown_addr_stores.min
+    uam_min = vp.unknown_addr_memops.min
+    url_min = vp.unretired_loads.min
+    is_head = core.rob.is_head
+    note = core.note_vp_reached
+
+    def update_vps() -> None:  # repro: hot
+        if not frontier:
+            return
+        # The VP condition sets only shrink at retire / resolve events,
+        # never during this walk (marking a load discards it from the
+        # *frontier*; its ``on_load_vp`` hook is a no-op for the
+        # specialized schemes), so each set's min is read once.  The
+        # index-bound break conditions are monotone and side-effect
+        # free, so "break on the first failing bound" equals "break
+        # when the index passes the smallest applicable bound".
+        bound = ub_min()
+        if bound is None:
+            bound = _NO_MIN
+        if chk_alias:
+            m = uas_min()
+            if m is not None and m < bound:
+                bound = m
+        if chk_except:
+            m = uam_min()
+            if m is not None and m < bound:
+                bound = m
+        if chk_mcv and aggressive and not pinned_mode:
+            url_bound = url_min()
+            if url_bound is None:
+                url_bound = _NO_MIN
+        else:
+            url_bound = _NO_MIN
+        for index in sorted(frontier):
+            load = frontier.get(index)
+            if load is None:
+                continue    # marked (or squashed) earlier in this walk
+            if bound < index:
+                break
+            if chk_mcv:
+                if pinned_mode:
+                    if not load.mcv_safe:
+                        break
+                elif aggressive:
+                    if url_bound < index:
+                        break
+                elif not is_head(load):
+                    break
+            note(load)
+
+    return update_vps
+
+
+def _make_retire(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
+    """Specialized retire: the head-retirability ladder collapses to a
+    byte compare for the common classes (ALU/branch/plain load/store);
+    the rarer serializing classes keep the generic check."""
+    width = core.config.core.width
+    entries = core._rob_entries
+    by_index = core.rob._by_index
+    opcodes = compiled.opcodes
+    wb = core.write_buffer
+    wb_entries = wb._entries
+    wb_capacity = wb.capacity
+    wb_push = wb.push
+    kick_wb = core._kick_write_buffer
+    may_retire = core._head_may_retire
+    note = core.note_vp_reached
+    lq = core.lq
+    sq = core.sq
+    vp = core.vp_state
+    url_discard = vp.unretired_loads.discard
+    ser_discard = vp.serializing.discard
+    pinning = core._pinning
+    on_load_retire = core.controller.on_load_retire
+    progress = core._progress
+    stats = core.stats
+
+    def retire_stage() -> None:  # repro: hot
+        retired = 0
+        sig = core.retire_sig
+        while retired < width and entries:
+            head = entries[0]
+            index = head.index
+            code = opcodes[index]
+            if code <= OP_BRANCH:
+                if not head.complete:
+                    break
+            elif code == OP_LOAD:
+                if head.invisible:
+                    if not may_retire(head):
+                        break
+                elif not head.complete:
+                    break
+            elif code == OP_STORE:
+                if not head.complete or wb.backpressure \
+                        or len(wb_entries) >= wb_capacity:
+                    break
+            elif not may_retire(head):  # FENCE / ATOMIC / BARRIER
+                break
+            # --- inlined Core._retire ---
+            if code == OP_LOAD:
+                if head.vp_cycle is None:
+                    note(head)
+                loads = lq._loads
+                if not loads or loads[0] is not head:
+                    raise ValueError(
+                        "retiring a load that is not the LQ head")
+                loads.pop(0)
+                url_discard(index)
+                if pinning:
+                    # no-op when pinning is off: lq_id and the pinned
+                    # bit are only ever set by the controller
+                    on_load_retire(head)
+            elif code == OP_STORE:
+                stores = sq._stores
+                if not stores or stores[0] is not head:
+                    raise ValueError(
+                        "retiring a store that is not the SQ head")
+                stores.pop(0)
+                wb_push(head.line)
+                kick_wb()
+            elif code >= OP_FENCE:  # FENCE / ATOMIC / BARRIER
+                ser_discard(index)
+            entries.popleft()
+            del by_index[index]
+            core._retired_upto = index + 1
+            sig = ((sig ^ (index + 1))
+                   * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+            retired += 1
+        if retired:
+            core.retire_sig = sig
+            core._wake_pending = True
+            core.retired_count += retired
+            progress.count += retired
+            stats.bump("retired", retired)
+
+    return retire_stage
+
+
+def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
+    """Fully inlined ``Core._dispatch_stage`` + ``Core._dispatch``: the
+    trace probes are flat byte reads, the dependency walk runs on the
+    CSR arrays, and ``_value_available`` / ``rob.push`` collapse to one
+    dict probe / one append each.  The resulting entry state, waiter
+    registrations and VP-set updates are identical to the generic
+    path's (same objects, same order)."""
+    width = core.config.core.width
+    trace_len = compiled.length
+    opcodes = compiled.opcodes
+    uops = compiled.uops
+    entries = core._rob_entries
+    by_index = core.rob._by_index
+    rob_capacity = core._rob_capacity
+    lq = core.lq
+    lq_capacity = lq.capacity
+    lq_allocate = lq.allocate
+    sq = core.sq
+    sq_capacity = sq.capacity
+    sq_allocate = sq.allocate
+    waiters = core._waiters
+    data_waiters = core._data_waiters
+    vp = core.vp_state
+    # LazyMinSet.add inlined for the hot classes: one membership probe,
+    # one set add, one heap push against the hoisted internals (both are
+    # stable attributes, mutated in place everywhere)
+    url_live = vp.unretired_loads._live
+    url_heap = vp.unretired_loads._heap
+    uas_live = vp.unknown_addr_stores._live
+    uas_heap = vp.unknown_addr_stores._heap
+    uam_live = vp.unknown_addr_memops._live
+    uam_heap = vp.unknown_addr_memops._heap
+    ubr_live = vp.unresolved_branches._live
+    ubr_heap = vp.unresolved_branches._heap
+    ser_add = vp.serializing.add
+    pinning = core._pinning
+    on_load_dispatch = core.controller.on_load_dispatch
+    taint = core.taint
+    # STT: TaintTracker.on_dispatch inlined below, with the all-live
+    # common case (no retired/post-VP roots to drop) probed before the
+    # allocating `_live_subset` filter is paid
+    taint_roots = None if taint is None else taint._output_roots
+    live_subset = None if taint is None else taint._live_subset
+    empty_roots = frozenset()
+    stats = core.stats
+
+    def dispatch_stage() -> None:  # repro: hot
+        dispatched = 0
+        cursor = core._cursor
+        cycle = core.cycle
+        retired_upto = core._retired_upto
+        while dispatched < width and cursor < trace_len \
+                and len(entries) < rob_capacity:
+            code = opcodes[cursor]
+            if code == OP_LOAD:
+                if len(lq._loads) >= lq_capacity:
+                    break
+            elif code == OP_STORE:
+                if len(sq._stores) >= sq_capacity:
+                    break
+            # --- inlined Core._dispatch ---
+            uop = uops[cursor]
+            entry = ROBEntry(uop, 0, cycle)
+            pending = 0
+            deps = uop.deps
+            for dep in deps:
+                if dep >= retired_upto:
+                    producer = by_index.get(dep)
+                    if producer is None or not producer.complete:
+                        dep_waiters = waiters.get(dep)
+                        if dep_waiters is None:
+                            # first waiter: the reference path allocates
+                            # this list too (amortized, not per-cycle)
+                            waiters[dep] = [entry]  # repro: allow-hot-path-allocation
+                        else:
+                            dep_waiters.append(entry)
+                        pending += 1
+            entry.pending_deps = pending
+            for dep in uop.data_deps:
+                if dep >= retired_upto:
+                    producer = by_index.get(dep)
+                    if producer is None or not producer.complete:
+                        dep_waiters = data_waiters.get(dep)
+                        if dep_waiters is None:
+                            data_waiters[dep] = [entry]  # repro: allow-hot-path-allocation
+                        else:
+                            dep_waiters.append(entry)
+                        entry.pending_data_deps += 1
+            entries.append(entry)
+            by_index[cursor] = entry
+            if code == OP_LOAD:
+                lq_allocate(entry)
+                if cursor not in url_live:
+                    url_live.add(cursor)
+                    heappush(url_heap, cursor)
+                if cursor not in uam_live:
+                    uam_live.add(cursor)
+                    heappush(uam_heap, cursor)
+                if pinning:
+                    on_load_dispatch(entry)
+                if taint_roots is not None:
+                    taint_roots[cursor] = frozenset((cursor,))
+            else:
+                if code == OP_STORE:
+                    sq_allocate(entry)
+                    if cursor not in uas_live:
+                        uas_live.add(cursor)
+                        heappush(uas_heap, cursor)
+                    if cursor not in uam_live:
+                        uam_live.add(cursor)
+                        heappush(uam_heap, cursor)
+                elif code == OP_BRANCH:
+                    if cursor not in ubr_live:
+                        ubr_live.add(cursor)
+                        heappush(ubr_heap, cursor)
+                elif code == OP_ATOMIC:
+                    if cursor not in uas_live:
+                        uas_live.add(cursor)
+                        heappush(uas_heap, cursor)
+                    if cursor not in uam_live:
+                        uam_live.add(cursor)
+                        heappush(uam_heap, cursor)
+                    ser_add(cursor)
+                elif code == OP_FENCE or code == OP_BARRIER:
+                    ser_add(cursor)
+                if taint_roots is not None:
+                    roots = empty_roots
+                    for dep in deps:
+                        dep_roots = taint_roots.get(dep)
+                        if dep_roots:
+                            for root in dep_roots:
+                                producer = by_index.get(root)
+                                if producer is None \
+                                        or producer.vp_cycle is not None:
+                                    dep_roots = live_subset(dep_roots)
+                                    break
+                            if dep_roots:
+                                roots = (dep_roots if roots is empty_roots
+                                         else roots | dep_roots)
+                    taint_roots[cursor] = roots
+            if pending == 0 and code != OP_FENCE and code != OP_BARRIER:
+                core._ready.append(entry)
+            cursor += 1
+            dispatched += 1
+        if dispatched:
+            core._cursor = cursor
+            core._wake_pending = True
+            stats.bump("dispatched", dispatched)
+
+    return dispatch_stage
+
+
+def _make_quiet(core: Core, compiled: CompiledTrace) -> Callable[[int], int]:
+    """Specialized ``Core.quiet_until``: same conditions, same order,
+    with the trace/head probes on flat arrays."""
+    wake_matters = core._vp_active or core._pinning
+    opcodes = compiled.opcodes
+    barrier_ids = compiled.barrier_ids
+    is_load = compiled.is_load
+    is_store = compiled.is_store
+    trace_len = compiled.length
+    entries = core._rob_entries
+    rob_capacity = core._rob_capacity
+    lq = core.lq
+    lq_capacity = lq.capacity
+    sq = core.sq
+    sq_capacity = sq.capacity
+    released = core.barriers.released
+
+    def quiet_until(cycle: int) -> int:  # repro: hot
+        if wake_matters and core._wake_pending:
+            return 0
+        if core._ready or core._lp_parked:
+            return 0
+        if core._waiting_loads and not core._waiting_stalled:
+            return 0
+        if core._wb_entries and not core._wb_draining:
+            return 0
+        if entries:
+            head = entries[0]
+            code = opcodes[head.index]
+            if code == OP_ATOMIC:
+                return 0
+            elif code == OP_BARRIER:
+                if not head.barrier_notified \
+                        or released(barrier_ids[head.index]):
+                    return 0
+            elif code == OP_FENCE:
+                if not core._wb_entries:
+                    return 0
+            elif head.complete:
+                return 0
+        cursor = core._cursor
+        if cursor < trace_len and len(entries) < rob_capacity:
+            if not ((is_load[cursor] and len(lq._loads) >= lq_capacity)
+                    or (is_store[cursor]
+                        and len(sq._stores) >= sq_capacity)):
+                resume = core._fetch_resume
+                if resume <= cycle + 1:
+                    return 0
+                return resume
+        return QUIET_FOREVER
+
+    return quiet_until
+
+
+def _specialize_core(core: Core, compiled: CompiledTrace,
+                     ) -> Tuple[Callable[[int], None], Callable[[int], int]]:
+    """Compile one core's tick/quiet pair.  Stage activation flags
+    (``vp_active``, pinning, LATE parking) are static per config, so the
+    per-cycle flag re-tests of the generic tick disappear."""
+    vp_active = core._vp_active
+    pinning = core._pinning
+    late = core.config.pinning.mode is PinningMode.LATE
+    # The stalled-scan skip is sound only when issue eligibility flips
+    # exclusively through wake-flagged mutations (the quiet_until
+    # fixpoint contract): true for fence (vp_cycle), STT (vp_cycle /
+    # taint liveness) and unsafe (always eligible).  DOM eligibility
+    # also reads shared L1 state, which mem-side events (a write-buffer
+    # drain filling a line) change without waking the core, so DOM
+    # scans whenever loads wait — exactly like the generic tick.
+    scan_always = core.config.defense is DefenseKind.DOM
+    trace_len = compiled.length
+    entries = core._rob_entries
+    stats = core.stats
+    controller_tick = core.controller.tick
+    lp_retry = core._lp_retry_parked
+    kick_wb = core._kick_write_buffer
+    retire_stage = _make_retire(core, compiled)
+    update_vps = _make_update_vps(core) if vp_active else None
+    issue_ready = _make_issue_ready(core, compiled)
+    issue_loads = _make_issue_loads(core)
+    dispatch_stage = _make_dispatch(core, compiled)
+    quiet_until = _make_quiet(core, compiled)
+
+    def tick(cycle: int) -> None:  # repro: hot
+        if core.done_cycle is not None:
+            return
+        # the wake flag observed at entry covers every mutation since
+        # this core's previous tick; the re-read before the load scan
+        # covers mutations made by this tick's earlier stages
+        woke = core._wake_pending
+        if woke:
+            core._wake_pending = False
+        core.cycle = cycle
+        if entries:
+            retire_stage()
+        if vp_active:
+            update_vps()
+        if pinning:
+            controller_tick()
+            if late and core._lp_parked:
+                lp_retry()
+        if core._ready:
+            issue_ready()
+        if core._waiting_loads and (scan_always or woke or core._wake_pending
+                                    or not core._waiting_stalled):
+            issue_loads()
+        if core._cursor < trace_len and cycle >= core._fetch_resume:
+            dispatch_stage()
+        if core._wb_entries and not core._wb_draining:
+            kick_wb()
+        if not entries and not core._wb_entries \
+                and core._cursor >= trace_len:
+            core.done_cycle = cycle
+            stats.set("done_cycle", cycle)
+            stats.set("retire_sig", core.retire_sig)
+
+    return tick, quiet_until
+
+
+class SpecializedEngine:
+    """Engine over one ``System``: per-core specialized closures plus a
+    run loop mirroring ``System.run_ticked``'s fast-forward structure."""
+
+    __slots__ = ("system", "_cores", "_ticks", "_quiets", "compiled")
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self._cores: List[Core] = list(system.cores)
+        self.compiled: List[CompiledTrace] = [
+            compile_trace(core.trace) for core in self._cores]
+        self._ticks = []
+        self._quiets = []
+        for core, compiled in zip(self._cores, self.compiled):
+            tick, quiet = _specialize_core(core, compiled)
+            self._ticks.append(tick)
+            self._quiets.append(quiet)
+
+    def run(self, max_cycles: int = 50_000_000,
+            stop_cycle: Optional[int] = None) -> int:
+        # The run loop allocates in a steady state (ROB entries, event
+        # tuples) with no reference cycles on the hot path; pausing the
+        # generational collector for the duration avoids periodic full
+        # scans of the long-lived simulator graph.
+        paused = gc.isenabled()
+        if paused:
+            gc.disable()
+        try:
+            if len(self._cores) == 1:
+                return self._run_single(max_cycles, stop_cycle)
+            return self._run_multi(max_cycles, stop_cycle)
+        finally:
+            if paused:
+                gc.enable()
+
+    def _run_single(self, max_cycles: int,
+                    stop_cycle: Optional[int]) -> int:
+        system = self.system
+        core = self._cores[0]
+        tick = self._ticks[0]
+        quiet = self._quiets[0]
+        events = system.events
+        heap = events._heap
+        run_until = events.run_until
+        progress = system.progress
+        deadlock_window = system.config.deadlock_cycles
+        cycle = system.cycles
+        last_progress_cycle = cycle
+        last_retired = -1
+        while core.done_cycle is None:
+            if stop_cycle is not None and cycle >= stop_cycle:
+                break
+            cycle += 1
+            if heap and heap[0][0] <= cycle:
+                run_until(cycle)
+            else:
+                # no due events: run_until would only advance the clock
+                events.now = cycle
+            tick(cycle)
+            if core.done_cycle is not None:
+                break
+            retired = progress.count
+            if retired != last_retired:
+                last_retired = retired
+                last_progress_cycle = cycle
+            elif cycle - last_progress_cycle > deadlock_window:
+                raise DeadlockError(cycle, repr(core),
+                                    dump=system.diagnostic_dump(cycle))
+            if cycle >= max_cycles:
+                raise DeadlockError(cycle, "max_cycles exceeded",
+                                    dump=system.diagnostic_dump(cycle))
+            bound = quiet(cycle)
+            if bound > cycle + 1:
+                target = bound
+                if heap:
+                    next_event = heap[0][0]
+                    if next_event < target:
+                        target = next_event
+                deadlock_at = last_progress_cycle + deadlock_window + 1
+                if deadlock_at < target:
+                    target = deadlock_at
+                if max_cycles < target:
+                    target = max_cycles
+                if stop_cycle is not None and stop_cycle < target:
+                    target = stop_cycle
+                if target > cycle + 1:
+                    cycle = target - 1
+        system.cycles = cycle
+        return cycle
+
+    def _run_multi(self, max_cycles: int,
+                   stop_cycle: Optional[int]) -> int:
+        system = self.system
+        events = system.events
+        heap = events._heap
+        run_until = events.run_until
+        progress = system.progress
+        deadlock_window = system.config.deadlock_cycles
+        cycle = system.cycles
+        last_progress_cycle = cycle
+        last_retired = -1
+        live = [(core, tick, quiet) for core, tick, quiet
+                in zip(self._cores, self._ticks, self._quiets)
+                if core.done_cycle is None]
+        while live:
+            if stop_cycle is not None and cycle >= stop_cycle:
+                break
+            cycle += 1
+            if heap and heap[0][0] <= cycle:
+                run_until(cycle)
+            else:
+                events.now = cycle
+            finished = False
+            for item in live:
+                item[1](cycle)
+                if item[0].done_cycle is not None:
+                    finished = True
+            if finished:
+                live = [item for item in live
+                        if item[0].done_cycle is None]
+                if not live:
+                    break
+            retired = progress.count
+            if retired != last_retired:
+                last_retired = retired
+                last_progress_cycle = cycle
+            elif cycle - last_progress_cycle > deadlock_window:
+                detail = "; ".join(repr(item[0]) for item in live)
+                raise DeadlockError(cycle, detail,
+                                    dump=system.diagnostic_dump(cycle))
+            if cycle >= max_cycles:
+                raise DeadlockError(cycle, "max_cycles exceeded",
+                                    dump=system.diagnostic_dump(cycle))
+            bound = QUIET_FOREVER
+            for item in live:
+                core_bound = item[2](cycle)
+                if core_bound <= cycle + 1:
+                    bound = 0
+                    break
+                if core_bound < bound:
+                    bound = core_bound
+            if bound > cycle + 1:
+                target = bound
+                if heap:
+                    next_event = heap[0][0]
+                    if next_event < target:
+                        target = next_event
+                deadlock_at = last_progress_cycle + deadlock_window + 1
+                if deadlock_at < target:
+                    target = deadlock_at
+                if max_cycles < target:
+                    target = max_cycles
+                if stop_cycle is not None and stop_cycle < target:
+                    target = stop_cycle
+                if target > cycle + 1:
+                    cycle = target - 1
+        system.cycles = cycle
+        return cycle
+
+
+def build_engine(system) -> Optional[SpecializedEngine]:
+    """Compile a specialized engine for ``system``, or ``None`` when the
+    system must stay on the generic loop (sanitizer attached — it
+    shadows ``Core.tick`` through the instance dict — or a defense
+    outside the specialized families)."""
+    if system.sanitizer is not None:
+        return None
+    if system.config.defense not in SPECIALIZED_DEFENSES:
+        return None
+    return SpecializedEngine(system)

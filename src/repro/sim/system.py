@@ -79,6 +79,20 @@ class System:
                 # event goes through the trace-recording shims
                 self.sanitizer.attach_chaos(self.chaos)
             self.chaos.install()
+        # lazily-built specialized engine (repro.sim.engine); ``False``
+        # records that this system is ineligible so ``run`` probes once
+        self._engine = None
+
+    def __getstate__(self):
+        # the engine is a web of closures over live component state —
+        # derived, unpicklable, and cheap to recompile after a restore
+        state = self.__dict__.copy()
+        state.pop("_engine", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._engine = None
 
     def run(self, max_cycles: int = 50_000_000,
             stop_cycle: Optional[int] = None) -> int:
@@ -90,7 +104,33 @@ class System:
         ``self.cycles`` and the stitched run is bit-identical to an
         uninterrupted one.
 
-        This is the hot loop of every experiment.  Two things keep the
+        Dispatches to the struct-of-arrays specialized engine
+        (``repro.sim.engine``) when the defense scheme has one and no
+        sanitizer is attached; otherwise falls back to the generic
+        guarded loop ``run_ticked``.  Both are bit-exact against
+        ``run_reference`` (asserted by the tests and by every
+        ``repro bench`` hot-loop cell).
+        """
+        if self.sanitizer is None:
+            engine = self._engine
+            if engine is None:
+                from repro.sim.engine import build_engine
+                engine = build_engine(self)
+                if engine is None:
+                    engine = False      # ineligible; don't probe again
+                self._engine = engine
+            if engine is not False:
+                return engine.run(max_cycles, stop_cycle)
+        return self.run_ticked(max_cycles, stop_cycle)
+
+    def run_ticked(self, max_cycles: int = 50_000_000,
+                   stop_cycle: Optional[int] = None) -> int:
+        """The generic guarded per-core tick loop (the PR 4 engine).
+
+        This is the fallback for configurations without a specialized
+        inner loop and for sanitized runs (the sanitizer shadows
+        ``Core.tick``, so every tick must go through the method).  Two
+        things keep the
         per-cycle cost low without changing simulated behaviour:
 
         * the deadlock scan is incremental — cores bump one shared

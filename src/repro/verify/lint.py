@@ -24,6 +24,12 @@ type-hint defect family that seeded this PR:
   objects are allocated/accessed millions of times per run; a dict per
   instance is measurable (see ``docs/performance.md``).  Enum,
   exception, Protocol-style, and decorated classes are exempt.
+* ``hot-path-allocation`` — container displays, comprehensions,
+  lambdas, and nested ``def`` inside a function whose ``def`` line is
+  marked ``# repro: hot`` (the specialized engine's inner-loop
+  closures).  Each such construct allocates per call on a path that
+  runs every simulated cycle; hoist it into the closure maker, or waive
+  a deliberate allocation with ``# repro: allow-hot-path-allocation``.
 
 A finding is waived by a trailing ``# repro: allow-<rule>`` comment on
 the offending line — e.g. the benchmark driver's timing reads carry
@@ -95,7 +101,12 @@ RULES = {
                          "annotation",
     "hot-path-slots": "classes in per-cycle packages must declare "
                       "__slots__",
+    "hot-path-allocation": "functions marked '# repro: hot' must not "
+                           "allocate containers or closures per call",
 }
+
+#: marker comment that opts a function into ``hot-path-allocation``
+HOT_FUNCTION_MARKER = "# repro: hot"
 
 
 @dataclass(frozen=True)
@@ -179,11 +190,15 @@ def _is_hot_path(path: str) -> bool:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, registry: _SetRegistry) -> None:
+    def __init__(self, path: str, registry: _SetRegistry,
+                 lines: Optional[Sequence[str]] = None) -> None:
         self.path = path
         self.registry = registry
         self.findings: List[Finding] = []
         self._hot_path = _is_hot_path(path)
+        #: source lines, for the comment-marker rules (None in the rare
+        #: AST-only call paths: the marker rule is then inert)
+        self._lines = lines
         #: per-function stack of local names inferred to hold sets
         self._set_locals: List[Set[str]] = [set()]
 
@@ -219,6 +234,8 @@ class _Linter(ast.NodeVisitor):
 
     def _visit_function(self, node) -> None:
         self._check_arg_defaults(node)
+        if self._is_hot_function(node):
+            self._check_hot_allocations(node)
         args = node.args
         scope = {arg.arg
                  for arg in (args.posonlyargs + args.args
@@ -230,6 +247,46 @@ class _Linter(ast.NodeVisitor):
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    # -- hot-path allocation -------------------------------------------
+
+    def _is_hot_function(self, node) -> bool:
+        if self._lines is None:
+            return False
+        line = self._lines[node.lineno - 1] \
+            if node.lineno - 1 < len(self._lines) else ""
+        return HOT_FUNCTION_MARKER in line
+
+    _ALLOCATION_KINDS = {
+        ast.List: "list display", ast.Set: "set display",
+        ast.Dict: "dict display", ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+        ast.GeneratorExp: "generator expression",
+        ast.Lambda: "lambda", ast.FunctionDef: "nested function",
+        ast.AsyncFunctionDef: "nested function",
+    }
+
+    def _check_hot_allocations(self, node) -> None:
+        """Flag per-call container/closure construction inside a
+        function marked ``# repro: hot``.  Nested functions are flagged
+        as a whole (the def itself allocates a closure every call) and
+        not descended into."""
+        stack = list(node.body)
+        while stack:
+            child = stack.pop()
+            kind = self._ALLOCATION_KINDS.get(type(child))
+            if kind is not None:
+                self._emit(
+                    child, "hot-path-allocation",
+                    f"{kind} inside '# repro: hot' function "
+                    f"{node.name}() allocates per call; hoist it into "
+                    f"the closure maker or waive with "
+                    f"# repro: allow-hot-path-allocation")
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+            stack.extend(ast.iter_child_nodes(child))
 
     # -- hot-path __slots__ --------------------------------------------
 
@@ -384,7 +441,7 @@ def lint_source_raw(source: str, path: str = "<string>",
     if registry is None:
         registry = _SetRegistry()
         registry.scan(tree)
-    linter = _Linter(path, registry)
+    linter = _Linter(path, registry, source.splitlines())
     linter.visit(tree)
     return linter.findings
 

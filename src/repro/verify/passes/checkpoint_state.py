@@ -20,11 +20,15 @@ the simulator that wrote it.  Three static rules guard (a):
 Rule (b) is ``checkpoint-manifest``: a committed manifest
 (``state_manifest.json``) records a hash of every checkpointed class's
 ``__slots__`` layout together with the ``CHECKPOINT_FORMAT_VERSION`` it
-was generated for.  Changing the state shape without bumping the
-version is a static error — exactly the failure the version field
-exists to make loud (resuming an old checkpoint into a new layout).
-Regenerate after a legitimate bump with
-``repro verify analyze --update-manifest``.
+was generated for.  Since format 3, classes that serialize through a
+custom shape (``__getstate__``/``__setstate__``/``__reduce__`` — the
+array-backed snapshots of ``repro.mem.cache.CacheArray`` and friends)
+additionally contribute a hash of those method bodies, so editing a
+snapshot layout is a manifest change even when ``__slots__`` is
+untouched.  Changing the state shape without bumping the version is a
+static error — exactly the failure the version field exists to make
+loud (resuming an old checkpoint into a new layout).  Regenerate after
+a legitimate bump with ``repro verify analyze --update-manifest``.
 """
 
 from __future__ import annotations
@@ -83,11 +87,33 @@ def _static_slots(node: ast.ClassDef) -> Optional[List[str]]:
     return None
 
 
+#: methods that define a class's serialized shape independently of its
+#: ``__slots__`` (the format-3 array-backed snapshots live here)
+STATE_SHAPE_METHODS = {"__getstate__", "__setstate__",
+                       "__reduce__", "__reduce_ex__"}
+
+
+def _state_shape_hash(node: ast.ClassDef) -> Optional[str]:
+    """Hash of the class's custom pickle-shape methods, or ``None`` if
+    it pickles by plain slot layout."""
+    methods = sorted(
+        (stmt for stmt in node.body
+         if isinstance(stmt, ast.FunctionDef)
+         and stmt.name in STATE_SHAPE_METHODS),
+        key=lambda stmt: stmt.name)
+    if not methods:
+        return None
+    payload = "\n".join(ast.dump(m) for m in methods).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
 def collect_manifest_classes(
-        files: Iterable[SourceFile]) -> Dict[str, Dict[str, List[str]]]:
-    """``{canonical module: {class: [slots]}}`` for every class with a
-    statically readable ``__slots__`` in a checkpointed package."""
-    classes: Dict[str, Dict[str, List[str]]] = {}
+        files: Iterable[SourceFile]) -> Dict[str, Dict[str, object]]:
+    """``{canonical module: {class: shape}}`` for every class with a
+    statically readable ``__slots__`` in a checkpointed package.  The
+    shape is the slot list, or — for classes with custom pickle-shape
+    methods — ``{"slots": [...], "state_shape": <hash>}``."""
+    classes: Dict[str, Dict[str, object]] = {}
     for file in files:
         if file.package not in CHECKPOINTED_PACKAGES or file.tree is None:
             continue
@@ -95,12 +121,16 @@ def collect_manifest_classes(
             if not isinstance(node, ast.ClassDef):
                 continue
             slots = _static_slots(node)
-            if slots is not None:
-                classes.setdefault(file.canonical, {})[node.name] = slots
+            if slots is None:
+                continue
+            shape_hash = _state_shape_hash(node)
+            shape: object = slots if shape_hash is None \
+                else {"slots": slots, "state_shape": shape_hash}
+            classes.setdefault(file.canonical, {})[node.name] = shape
     return classes
 
 
-def manifest_hash(classes: Dict[str, Dict[str, List[str]]]) -> str:
+def manifest_hash(classes: Dict[str, Dict[str, object]]) -> str:
     payload = json.dumps(classes, sort_keys=True).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:16]
 

@@ -1,0 +1,172 @@
+"""Randomized parity of the struct-of-arrays specialized engine.
+
+``System.run`` dispatches to ``repro.sim.engine`` — per-scheme
+specialized inner loops over precompiled trace arrays — whenever the
+defense family has one and no sanitizer is attached.  The property that
+keeps that fast path honest mirrors the quiet-wakeup suite: for *any*
+generated workload and *any* scheme, with or without chaos fault
+injection, the engine must be bit-indistinguishable from the
+cycle-by-cycle ``run_reference`` oracle — equal cycle counts, equal
+per-core pipeline *and* pinning statistics.
+
+Two more properties pin down the seams:
+
+* checkpoint format 3 (array snapshots) taken mid-run under the engine
+  must resume to the exact same end state as an uninterrupted run;
+* ineligible configurations (sanitizer attached, defense outside the
+  specialized families) must fall back to the generic guarded loop,
+  and the ``System._engine is False`` memo must stop re-probing.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import (ChaosConfig, DefenseKind, SystemConfig,
+                                 ThreatModel)
+from repro.sim.checkpoint import restore_system, snapshot_system
+from repro.sim.engine import SPECIALIZED_DEFENSES, SpecializedEngine
+from repro.sim.runner import scheme_grid
+from repro.sim.system import System
+from repro.workloads import WorkloadProfile, build_workload
+
+BASE = SystemConfig()
+
+#: Label -> config for every scheme the paper measures, plus unsafe.
+SCHEMES = dict(
+    [("unsafe", BASE)]
+    + [(label, BASE.with_defense(defense, threat, pinning))
+       for label, (defense, threat, pinning)
+       in sorted(scheme_grid().items())])
+
+#: Every fault class on: jitter+reorder, NACKs, evictions, WB spikes.
+CHAOS = ChaosConfig(seed=3, wb_spike_interval=300)
+
+PROFILES = st.builds(
+    WorkloadProfile,
+    name=st.just("soa"),
+    load_frac=st.floats(min_value=0.1, max_value=0.35),
+    store_frac=st.floats(min_value=0.02, max_value=0.15),
+    branch_frac=st.floats(min_value=0.02, max_value=0.25),
+    fp_frac=st.floats(min_value=0.0, max_value=0.9),
+    mispredict_rate=st.floats(min_value=0.0, max_value=0.15),
+    warm_frac=st.floats(min_value=0.0, max_value=0.3),
+    stream_frac=st.floats(min_value=0.0, max_value=0.2),
+    dependent_load_frac=st.floats(min_value=0.0, max_value=0.5),
+    hot_lines=st.integers(min_value=16, max_value=512),
+    warm_lines=st.integers(min_value=512, max_value=4096),
+)
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _fresh(config, workload):
+    system = System(config, workload)
+    system.mem.warm(workload)
+    return system
+
+
+def _assert_indistinguishable(opt, ref, label):
+    assert opt.cycles == ref.cycles, label
+    for oc, rc in zip(opt.cores, ref.cores):
+        assert oc.stats.as_dict() == rc.stats.as_dict(), \
+            f"{label}: core {oc.core_id} pipeline stats"
+        assert oc.controller.stats.as_dict() \
+            == rc.controller.stats.as_dict(), \
+            f"{label}: core {oc.core_id} pinning stats"
+        assert oc.retired == rc.retired, label
+
+
+class TestEngineMatchesReference:
+    @SLOW
+    @given(profile=PROFILES,
+           seed=st.integers(min_value=1, max_value=50),
+           label=st.sampled_from(sorted(SCHEMES)),
+           chaos=st.booleans())
+    def test_engine_matches_reference(self, profile, seed, label, chaos):
+        """For any workload, scheme, and fault schedule, the engine run
+        must match ``run_reference`` on cycles and every per-core
+        statistic."""
+        workload = build_workload(profile, seed=seed,
+                                  instructions_per_thread=250)
+        config = SCHEMES[label]
+        if chaos:
+            config = dataclasses.replace(config, chaos=CHAOS)
+        opt = _fresh(config, workload)
+        opt.run()
+        assert isinstance(opt._engine, SpecializedEngine), \
+            f"{label}: expected the specialized engine to be eligible"
+        ref = _fresh(config, workload)
+        ref.run_reference()
+        _assert_indistinguishable(opt, ref,
+                                  f"{label} chaos={chaos} seed={seed}")
+
+
+class TestCheckpointMidRun:
+    @SLOW
+    @given(profile=PROFILES,
+           seed=st.integers(min_value=1, max_value=50),
+           label=st.sampled_from(sorted(SCHEMES)),
+           fraction=st.floats(min_value=0.1, max_value=0.9))
+    def test_snapshot_resume_bit_identity(self, profile, seed, label,
+                                          fraction):
+        """A format-3 snapshot taken mid-run under the engine, restored
+        into a fresh process-local ``System``, must finish with exactly
+        the state an uninterrupted run reaches."""
+        workload = build_workload(profile, seed=seed,
+                                  instructions_per_thread=250)
+        config = SCHEMES[label]
+        straight = _fresh(config, workload)
+        total = straight.run()
+        paused = _fresh(config, workload)
+        paused.run(stop_cycle=max(1, int(total * fraction)))
+        resumed = restore_system(snapshot_system(paused))
+        resumed.run()
+        _assert_indistinguishable(resumed, straight,
+                                  f"{label} seed={seed} f={fraction:.2f}")
+
+
+class TestEligibilityFallback:
+    def _workload(self):
+        profile = WorkloadProfile(name="soa-fallback", load_frac=0.25,
+                                  store_frac=0.1)
+        return build_workload(profile, seed=7,
+                              instructions_per_thread=150)
+
+    def test_sanitized_run_stays_on_generic_loop(self):
+        """The sanitizer shadows ``Core.tick`` through the instance
+        dict, which the compiled closures would bypass — sanitized runs
+        must never build an engine."""
+        config = dataclasses.replace(SCHEMES["fence-comp"], sanitize=True)
+        system = _fresh(config, self._workload())
+        system.run()
+        assert system._engine is None
+
+    def test_unspecialized_defense_falls_back_and_memoizes(self):
+        """INVISI has no specialized loop: ``run`` must fall back to the
+        generic loop, cache the miss as ``_engine is False``, and still
+        match the reference oracle."""
+        assert DefenseKind.INVISI not in SPECIALIZED_DEFENSES
+        config = BASE.with_defense(DefenseKind.INVISI, ThreatModel.MCV)
+        workload = self._workload()
+        opt = _fresh(config, workload)
+        opt.run()
+        assert opt._engine is False
+        ref = _fresh(config, workload)
+        ref.run_reference()
+        _assert_indistinguishable(opt, ref, "invisi fallback")
+
+    def test_restored_system_rebuilds_engine_lazily(self):
+        """``__getstate__`` drops the compiled engine; the next ``run``
+        after a restore must rebuild it rather than crash or silently
+        tick the generic loop."""
+        config = SCHEMES["dom-ep"]
+        workload = self._workload()
+        paused = _fresh(config, workload)
+        paused.run(stop_cycle=50)
+        resumed = restore_system(snapshot_system(paused))
+        assert resumed._engine is None
+        resumed.run()
+        assert isinstance(resumed._engine, SpecializedEngine)

@@ -174,6 +174,49 @@ class TestHotPathSlots:
                            path=self.COLD) == []
 
 
+class TestHotPathAllocation:
+    def test_list_display_in_hot_function_flagged(self):
+        source = ("def tick():  # repro: hot\n"
+                  "    scratch = []\n"
+                  "    return scratch\n")
+        assert rules_of(lint_source(source)) == ["hot-path-allocation"]
+
+    def test_comprehension_and_lambda_flagged(self):
+        source = ("def scan(items):  # repro: hot\n"
+                  "    picked = [x for x in items if x]\n"
+                  "    key = lambda x: x.index\n"
+                  "    return picked, key\n")
+        assert sorted(rules_of(lint_source(source))) == \
+            ["hot-path-allocation", "hot-path-allocation"]
+
+    def test_nested_def_flagged_once(self):
+        # the nested def is one finding; its body is not re-scanned
+        source = ("def tick():  # repro: hot\n"
+                  "    def helper():\n"
+                  "        return [1, 2]\n"
+                  "    return helper\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["hot-path-allocation"]
+        assert findings[0].line == 2
+
+    def test_unmarked_function_not_flagged(self):
+        assert lint_source("def tick():\n    return []\n") == []
+
+    def test_calls_and_tuples_ok(self):
+        # tuples and constructor calls are allowed: event args and ROB
+        # entries are genuine per-event allocations, not scratch state
+        source = ("def tick(entry, heap):  # repro: hot\n"
+                  "    heap.append((1, 2, entry))\n"
+                  "    return dict()\n")
+        assert lint_source(source) == []
+
+    def test_waivable(self):
+        source = ("def tick(waiters, dep, entry):  # repro: hot\n"
+                  "    waiters[dep] = [entry]"
+                  "  # repro: allow-hot-path-allocation\n")
+        assert lint_source(source) == []
+
+
 class TestWaivers:
     def test_waiver_suppresses_rule_on_its_line(self):
         source = ("import time\n"

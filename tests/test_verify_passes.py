@@ -231,7 +231,7 @@ class TestCheckpointSafetyMutation:
         root = copy_tree(tmp_path, "isa/trace.py")
         target = root / "isa" / "trace.py"
         text = target.read_text().replace(
-            '    __slots__ = ("_uops", "name")\n\n', "", 1)
+            '    __slots__ = ("_uops", "name", "__weakref__")\n\n', "", 1)
         assert "_uops" not in text.split("class Trace")[1] \
             .split("def __init__")[0]
         target.write_text(text)
@@ -276,6 +276,26 @@ class TestCheckpointSafetyMutation:
                    and "CHECKPOINT_FORMAT_VERSION" in f.message
                    for f in report.findings), report.render_text()
 
+    def test_snapshot_layout_drift_without_bump_is_flagged(self,
+                                                           tmp_path):
+        # format-3 contract: editing an array-backed __getstate__ body
+        # is a manifest change even though __slots__ is untouched
+        root = copy_tree(tmp_path, "sim/checkpoint.py", "mem/cache.py")
+        manifest = tmp_path / "state_manifest.json"
+        write_manifest(load_sources([root]), manifest)
+        clean = analyze_clean([root], passes=["checkpoint-safety"],
+                              manifest_path=manifest)
+        assert clean.findings == [], clean.render_text()
+        cache = root / "mem" / "cache.py"
+        mutated = cache.read_text().replace('"occupied"', '"resident"')
+        assert mutated != cache.read_text()
+        cache.write_text(mutated)
+        report = analyze_clean([root], passes=["checkpoint-safety"],
+                               manifest_path=manifest)
+        assert any(f.rule == "checkpoint-manifest"
+                   and "CacheArray" in f.message
+                   for f in report.findings), report.render_text()
+
     def test_version_bump_demands_regenerated_manifest(self, tmp_path):
         root = copy_tree(tmp_path, "sim/checkpoint.py", "core/lsq.py")
         manifest = tmp_path / "state_manifest.json"
@@ -286,8 +306,8 @@ class TestCheckpointSafetyMutation:
             '__slots__ = ("capacity", "_loads", "_extra")', 1))
         ckpt = root / "sim" / "checkpoint.py"
         ckpt.write_text(ckpt.read_text().replace(
-            "CHECKPOINT_FORMAT_VERSION = 2",
-            "CHECKPOINT_FORMAT_VERSION = 3", 1))
+            "CHECKPOINT_FORMAT_VERSION = 3",
+            "CHECKPOINT_FORMAT_VERSION = 4", 1))
         report = analyze_clean([root], passes=["checkpoint-safety"],
                                manifest_path=manifest)
         assert any(f.rule == "checkpoint-manifest"
