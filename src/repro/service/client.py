@@ -10,7 +10,17 @@ immediately as the matching ``ServiceError`` subclass.
 
 Jitter is drawn from a client-owned seeded ``random.Random`` — never
 the global RNG — so client behaviour in tests is reproducible and the
-simulator's determinism lint stays clean.
+simulator's determinism lint stays clean.  The ``jitter_seed``
+constructor argument (default ``0``) seeds that RNG: it feeds both the
+retry backoff in ``_request`` and the poll backoff in ``wait``, so two
+clients built with the same seed replay the exact same timing decisions
+— pass distinct seeds to desynchronize a fleet, or a fixed one to make
+a test's retry schedule deterministic.
+
+``wait`` prefers the server's long-poll watch endpoint
+(``GET /jobs?watch=``) and only falls back to polling — with capped
+exponential backoff honoring the server's ``retry_after_s`` hints —
+when talking to a server that predates it.
 """
 
 from __future__ import annotations
@@ -20,20 +30,32 @@ import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.errors import (DrainingError, JobFailedError,
-                                 QueueFullError, RejectingError,
+                                 JobNotFoundError, QueueFullError,
+                                 QuotaExceededError, RejectingError,
                                  ServiceError)
 from repro.service.jobs import JobSpec
 from repro.sim.results import SimResult
 
 #: Errors worth retrying: the condition is expected to clear.
-_TRANSIENT = (QueueFullError, RejectingError, DrainingError)
+_TRANSIENT = (QueueFullError, QuotaExceededError, RejectingError,
+              DrainingError)
+
+#: Per-request watch window ``wait`` asks the server for.  Matches the
+#: server's clamp (``server.MAX_WATCH_S``) order of magnitude while
+#: keeping each HTTP request short enough to notice a dying server.
+WATCH_SLICE_S = 10.0
 
 
 class ServiceClient:
-    """Thin, retrying client for one service endpoint."""
+    """Thin, retrying client for one service endpoint.
+
+    ``jitter_seed`` makes every timing decision this client takes
+    (retry jitter, poll backoff jitter) a deterministic function of the
+    seed — see the module docs.
+    """
 
     def __init__(self, base_url: str = "http://127.0.0.1:8321",
                  retries: int = 8, backoff_s: float = 0.1,
@@ -46,18 +68,25 @@ class ServiceClient:
         self.backoff_cap_s = backoff_cap_s
         self.timeout_s = timeout_s
         self._rng = random.Random(jitter_seed)
+        #: None until probed; False once the server 404s the watch
+        #: route (pre-watch server) — then ``wait`` polls instead.
+        self._watch_supported: Optional[bool] = None
 
     # -- transport -----------------------------------------------------
 
     def _request_once(self, method: str, path: str,
-                      body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+                      body: Optional[Dict[str, Any]],
+                      timeout_s: Optional[float] = None
+                      ) -> Dict[str, Any]:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
         try:
             with urllib.request.urlopen(
-                    request, timeout=self.timeout_s) as response:
+                    request,
+                    timeout=self.timeout_s if timeout_s is None
+                    else timeout_s) as response:
                 return json.loads(response.read().decode())
         except urllib.error.HTTPError as err:
             payload = err.read().decode(errors="replace")
@@ -83,11 +112,13 @@ class ServiceClient:
         return delay
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout_s: Optional[float] = None) -> Dict[str, Any]:
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body,
+                                          timeout_s=timeout_s)
             except _TRANSIENT as err:
                 if attempt >= self.retries:
                     raise
@@ -119,31 +150,85 @@ class ServiceClient:
     def drain(self) -> Dict[str, Any]:
         return self._request("POST", "/drain", {})
 
+    def watch(self, job_ids: List[str],
+              timeout_s: float = WATCH_SLICE_S) -> Dict[str, Any]:
+        """One long-poll of ``GET /jobs?watch=``: blocks server-side up
+        to ``timeout_s`` and returns ``{job_id: terminal status doc}``
+        for every watched job that is already ``done``/``failed`` —
+        empty when the window elapsed with nothing terminal.  Raises
+        ``JobNotFoundError`` if any watched id is unknown to the server.
+        """
+        watch = ",".join(job_ids)
+        doc = self._request(
+            "GET", f"/jobs?watch={watch}&timeout_s={timeout_s:g}",
+            # the HTTP request must outlive the server-side park
+            timeout_s=timeout_s + self.timeout_s)
+        return doc.get("jobs", {})
+
+    def _finish(self, job_id: str,
+                doc: Dict[str, Any]) -> Dict[str, Any]:
+        if doc["status"] == "failed":
+            failure = doc.get("failure", {})
+            raise JobFailedError(
+                f"job {job_id[:16]} failed "
+                f"({failure.get('kind', 'error')}): "
+                f"{failure.get('message', '')}")
+        return doc
+
     def wait(self, job_id: str, timeout_s: float = 120.0,
-             poll_s: float = 0.2) -> Dict[str, Any]:
-        """Poll until the job reaches ``done`` or ``failed``.
+             poll_s: float = 0.2,
+             poll_cap_s: float = 2.0) -> Dict[str, Any]:
+        """Block until the job reaches ``done`` or ``failed``.
+
+        Prefers the server's long-poll watch endpoint (no client-side
+        sleeping at all); against a pre-watch server it falls back to
+        polling ``GET /jobs/<id>`` with capped exponential backoff —
+        ``poll_s`` doubling up to ``poll_cap_s``, jittered by the seeded
+        RNG, never below the server's ``retry_after_s`` hint when one is
+        present — instead of hammering at a fixed interval.
 
         Raises ``JobFailedError`` on failure and ``TimeoutError`` if the
-        deadline passes first.  Polling survives a service restart
-        mid-job: connection errors inside ``_request`` retry, and the
-        replayed job keeps its id.
+        deadline passes first.  Waiting survives a service restart
+        mid-job: connection errors inside ``_request`` retry, the
+        replayed job keeps its id, and the watch probe is re-evaluated
+        per call.
         """
         deadline = time.monotonic() + timeout_s  # repro: allow-wall-clock
+        delay = max(poll_s, 1e-3)
         while True:
-            doc = self.job(job_id)
-            if doc["status"] == "done":
-                return doc
-            if doc["status"] == "failed":
-                failure = doc.get("failure", {})
-                raise JobFailedError(
-                    f"job {job_id[:16]} failed "
-                    f"({failure.get('kind', 'error')}): "
-                    f"{failure.get('message', '')}")
-            if time.monotonic() >= deadline:  # repro: allow-wall-clock
+            remaining = deadline \
+                - time.monotonic()  # repro: allow-wall-clock
+            if remaining <= 0:
                 raise TimeoutError(
-                    f"job {job_id[:16]} still {doc['status']} after "
+                    f"job {job_id[:16]} still pending after "
                     f"{timeout_s}s")
-            time.sleep(poll_s)
+            if self._watch_supported is not False:
+                try:
+                    done = self.watch(
+                        [job_id],
+                        timeout_s=min(WATCH_SLICE_S, remaining))
+                except JobNotFoundError:
+                    if self._watch_supported is None:
+                        # pre-watch server: GET /jobs has no route and
+                        # 404s — remember and fall back to polling
+                        self._watch_supported = False
+                        continue
+                    raise
+                self._watch_supported = True
+                if job_id in done:
+                    return self._finish(job_id, done[job_id])
+                continue  # the server did the waiting; go straight back
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed"):
+                return self._finish(job_id, doc)
+            # capped exponential backoff with deterministic jitter,
+            # floored at the server's own backpressure hint
+            sleep_s = delay * (0.5 + 0.5 * self._rng.random())
+            hint = doc.get("retry_after_s")
+            if hint is not None:
+                sleep_s = max(sleep_s, float(hint))
+            time.sleep(min(sleep_s, poll_cap_s, max(remaining, 1e-3)))
+            delay = min(delay * 2, poll_cap_s)
 
     def run(self, spec: JobSpec,
             timeout_s: float = 120.0) -> SimResult:

@@ -1,0 +1,24 @@
+"""Federated sweep fabric: N journal-backed shards, one client face.
+
+The federation layer over ``repro.service``: a consistent-hash ring
+(``fabric.ring``) routes content-addressed job ids to primary +
+replica shards, ``FederatedClient`` (``fabric.client``) retries a
+failed or partitioned primary on its replicas by resubmitting
+idempotently, the ``ResultStore`` grows a read-through peer tier
+(``fabric.store``), and a seeded network-fault proxy
+(``fabric.faults``) makes every failover path testable
+deterministically.  See ``docs/resilience.md`` ("Federation") for the
+ring layout, the replica contract, and the failover sequence.
+"""
+
+from repro.service.fabric.client import FederatedClient
+from repro.service.fabric.faults import FaultProxy
+from repro.service.fabric.ring import (DEFAULT_REPLICAS, DEFAULT_VNODES,
+                                       HashRing, parse_ring)
+from repro.service.fabric.store import fetch_payload, peer_fetcher
+
+__all__ = [
+    "DEFAULT_REPLICAS", "DEFAULT_VNODES", "FaultProxy",
+    "FederatedClient", "HashRing", "fetch_payload", "parse_ring",
+    "peer_fetcher",
+]

@@ -1,0 +1,174 @@
+"""``FederatedClient``: one client face over a ring of shards.
+
+Submission and result-gathering route by the consistent-hash ring
+(``fabric.ring``): a job's primary shard is tried first, and any
+connection-level failure — shard process dead, network partitioned —
+fails over to the next replica by *resubmitting the spec there*.  That
+resubmission is safe and cheap by construction: job ids are
+content-addressed cache keys, every shard journals write-ahead, and
+results are deterministic, so the replica either already has the
+result (store federation read-through), is already running the same
+job, or runs it fresh — in every case the answer is bit-identical to
+what the primary would have produced.  The federation therefore needs
+no consensus, no replication protocol, and no failover coordination:
+the idempotency contract from the single-shard service *is* the
+replication protocol.
+
+Failover triggers on ``ConnectionError`` only.  A ``ServiceError``
+means the shard is alive and answering (its backpressure/taxonomy
+semantics stand), and a ``TimeoutError`` means the job is slow, not
+the shard dead — re-running a slow job elsewhere would double the
+wait, not halve it.  When every replica in a job's route fails, the
+walk surfaces as ``ShardUnavailableError`` (503 in the documented
+taxonomy).
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ShardUnavailableError
+from repro.service.client import ServiceClient
+from repro.service.fabric.ring import (DEFAULT_REPLICAS, DEFAULT_VNODES,
+                                       HashRing)
+from repro.service.jobs import JobSpec
+from repro.sim.results import SimResult
+
+
+class FederatedClient:
+    """Ring-routing, failover-capable client over N service shards.
+
+    Per-shard ``ServiceClient``s get a deliberately small retry budget
+    (default ``retries=2``): when a shard is down, the right move is to
+    fail over to its replica quickly, not to sit in a long retry loop
+    against a corpse.  ``jitter_seed`` derives a distinct per-shard
+    seed, so the whole federation's retry timing is reproducible from
+    one number (see ``ServiceClient``).
+    """
+
+    def __init__(self, urls: Union[str, Sequence[str]],
+                 replicas: int = DEFAULT_REPLICAS,
+                 vnodes: int = DEFAULT_VNODES,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 jitter_seed: int = 0,
+                 timeout_s: float = 10.0) -> None:
+        self.ring = HashRing(urls, replicas=replicas, vnodes=vnodes)
+        self._clients = {
+            url: ServiceClient(url, retries=retries,
+                               backoff_s=backoff_s,
+                               backoff_cap_s=backoff_cap_s,
+                               jitter_seed=jitter_seed * 1000 + index,
+                               timeout_s=timeout_s)
+            for index, url in enumerate(self.ring.nodes)}
+        self.counters: collections.Counter = collections.Counter()
+
+    def client(self, url: str) -> ServiceClient:
+        """The per-shard client for one ring member."""
+        return self._clients[url]
+
+    def shards_for(self, spec_or_id: Union[JobSpec, str]) -> List[str]:
+        job_id = spec_or_id if isinstance(spec_or_id, str) \
+            else spec_or_id.job_id()
+        return self.ring.route(job_id)
+
+    # -- failover core -------------------------------------------------
+
+    def _walk(self, job_id: str, op) -> Any:
+        """Run ``op(client)`` against the job's replica set, failing
+        over on connection-level errors; ``ShardUnavailableError`` when
+        the whole set is down."""
+        last: Optional[BaseException] = None
+        for index, url in enumerate(self.ring.route(job_id)):
+            if index:
+                self.counters["failovers"] += 1
+            try:
+                result = op(self._clients[url])
+                self.counters["requests"] += 1
+                return result
+            except ConnectionError as err:
+                self.counters["shard_errors"] += 1
+                last = err
+        raise ShardUnavailableError(
+            f"job {job_id[:16]}: every replica in its route is "
+            f"unreachable ({last})")
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Idempotently submit to the job's primary (replica on
+        failover); returns the shard's status doc."""
+        return self._walk(spec.job_id(),
+                          lambda client: client.submit(spec))
+
+    def run(self, spec: JobSpec,
+            timeout_s: float = 120.0) -> SimResult:
+        """Submit + wait + decode with failover.
+
+        A shard death *mid-wait* surfaces as ``ConnectionError`` once
+        the per-shard client's retries are spent; the walk then
+        resubmits the spec to the next replica and waits there — the
+        idempotent-resubmission contract makes the result bit-identical
+        whichever shard finally serves it.
+        """
+        return self._walk(
+            spec.job_id(),
+            lambda client: client.run(spec, timeout_s=timeout_s))
+
+    def submit_all(self, specs: Sequence[JobSpec]) -> Dict[str, JobSpec]:
+        """Fan a sweep's specs out across the ring (primary-first,
+        failover per job); returns ``{job_id: spec}`` (deduplicated —
+        content-addressed ids collapse identical cells)."""
+        by_id: Dict[str, JobSpec] = {}
+        for spec in specs:
+            job_id = spec.job_id()
+            if job_id in by_id:
+                continue
+            self.submit(spec)
+            by_id[job_id] = spec
+        return by_id
+
+    def gather(self, specs: Sequence[JobSpec],
+               timeout_s: float = 600.0) -> Dict[str, SimResult]:
+        """Wait for a submitted sweep; returns ``{job_id: result}``.
+
+        Shards run their queues concurrently; this walks the jobs one
+        at a time (each against its own replica set, resubmitting on
+        failover), sharing one wall-clock budget.
+        """
+        deadline = time.monotonic() + timeout_s  # repro: allow-wall-clock
+        results: Dict[str, SimResult] = {}
+        for spec in specs:
+            job_id = spec.job_id()
+            if job_id in results:
+                continue
+            remaining = deadline \
+                - time.monotonic()  # repro: allow-wall-clock
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"fabric sweep: {len(results)} of "
+                    f"{len(specs)} jobs done after {timeout_s}s")
+            results[job_id] = self.run(spec, timeout_s=remaining)
+        return results
+
+    def run_all(self, specs: Sequence[JobSpec],
+                timeout_s: float = 600.0) -> Dict[str, SimResult]:
+        """Submit then gather a whole sweep: the federation-side
+        equivalent of one ``Executor.run_tasks`` call."""
+        self.submit_all(specs)
+        return self.gather(specs, timeout_s=timeout_s)
+
+    def stats(self) -> Dict[str, Any]:
+        """Ring description, client counters, and per-shard ``/stats``
+        (a string error marker for unreachable shards)."""
+        shards: Dict[str, Any] = {}
+        for url in self.ring.nodes:
+            try:
+                shards[url] = self._clients[url].stats()
+            except (ConnectionError, TimeoutError) as err:
+                shards[url] = {"unreachable": str(err)}
+        return {"ring": self.ring.describe(),
+                "counters": dict(self.counters),
+                "shards": shards}

@@ -1,0 +1,214 @@
+"""Deterministic network-fault proxy for federation tests.
+
+``repro chaos`` made *simulator* faults reproducible by seeding every
+failure decision; this module does the same for the *network* between a
+client and a shard.  ``FaultProxy`` is a tiny threaded TCP relay that
+sits in front of one upstream service and injects faults decided by a
+seeded ``random.Random``:
+
+* **drops** — with ``drop_prob``, an accepted connection is closed
+  before relaying a byte (the client sees a reset → ``ConnectionError``
+  → its taxonomy-aware retry/failover path);
+* **latency spikes** — with ``latency_prob``, relaying is delayed by
+  ``latency_s`` (exercises client timeouts and backoff);
+* **partitions** — ``partition()`` severs every active relay and
+  refuses new connections until ``heal()``; the upstream process stays
+  healthy throughout, which is exactly the "shard is fine, network is
+  not" case failover must distinguish from a dead shard (it cannot, and
+  must not need to — the contract is the same either way).
+
+Determinism: all drop/latency decisions are drawn from the single
+seeded RNG *in connection-accept order* by the single accept thread, so
+a test that replays the same connection sequence replays the same fault
+sequence.  (Wall-clock interleavings still vary; what is reproducible
+is *which* connections are dropped/delayed, which pins down the code
+paths a test exercises.)
+
+Faults are injected per *connection*, which maps one-to-one onto
+requests for ``urllib``-based clients (no connection reuse).
+"""
+
+from __future__ import annotations
+
+import collections
+import logging
+import random
+import socket
+import threading
+import time
+from typing import Optional, Set, Tuple
+
+_log = logging.getLogger(__name__)
+
+#: Relay copy-loop chunk size.
+_CHUNK = 1 << 16
+
+
+class FaultProxy:
+    """Seeded TCP fault injector in front of one upstream service."""
+
+    def __init__(self, upstream_port: int,
+                 upstream_host: str = "127.0.0.1",
+                 seed: int = 0,
+                 drop_prob: float = 0.0,
+                 latency_s: float = 0.0,
+                 latency_prob: float = 0.0,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.drop_prob = drop_prob
+        self.latency_s = latency_s
+        self.latency_prob = latency_prob
+        self._rng = random.Random(seed)
+        self._partitioned = threading.Event()
+        self._stopping = threading.Event()
+        self._active_lock = threading.Lock()
+        self._active: Set[socket.socket] = set()
+        self.counters: collections.Counter = collections.Counter()
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "FaultProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._sever_active()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- fault controls ------------------------------------------------
+
+    def partition(self) -> None:
+        """Refuse new connections and sever active relays until
+        ``heal()``.  The upstream process is untouched."""
+        self._partitioned.set()
+        self._sever_active()
+        self.counters["partitions"] += 1
+
+    def heal(self) -> None:
+        self._partitioned.clear()
+        self.counters["heals"] += 1
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned.is_set()
+
+    def _sever_active(self) -> None:
+        with self._active_lock:
+            doomed = list(self._active)
+        for sock in doomed:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- relay ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            if self._stopping.is_set() or self._partitioned.is_set():
+                self.counters["refused"] += 1
+                conn.close()
+                continue
+            # fault decisions come from the seeded RNG in accept order
+            # — one thread, one RNG, one deterministic sequence
+            drop = self._rng.random() < self.drop_prob
+            delay = 0.0
+            if self.latency_s > 0 \
+                    and self._rng.random() < self.latency_prob:
+                delay = self.latency_s
+            if drop:
+                self.counters["dropped"] += 1
+                conn.close()
+                continue
+            self.counters["accepted"] += 1
+            threading.Thread(target=self._relay, args=(conn, delay),
+                             name="fault-proxy-relay",
+                             daemon=True).start()
+
+    def _relay(self, conn: socket.socket, delay: float) -> None:
+        if delay:
+            self.counters["delayed"] += 1
+            time.sleep(delay)
+            if self._partitioned.is_set() or self._stopping.is_set():
+                conn.close()
+                return
+        try:
+            upstream = socket.create_connection(self.upstream,
+                                                timeout=5.0)
+        except OSError:
+            # upstream dead (e.g. a kill -9'd shard): the client sees
+            # the same reset a partition produces
+            self.counters["upstream_unreachable"] += 1
+            conn.close()
+            return
+        with self._active_lock:
+            self._active.add(conn)
+            self._active.add(upstream)
+        pump = threading.Thread(target=self._pump,
+                                args=(upstream, conn),
+                                name="fault-proxy-pump", daemon=True)
+        pump.start()
+        self._pump(conn, upstream)
+        pump.join()
+        with self._active_lock:
+            self._active.discard(conn)
+            self._active.discard(upstream)
+        for sock in (conn, upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _pump(src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                data = src.recv(_CHUNK)
+                if not data:
+                    break
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            try:
+                dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+    def stats(self) -> Tuple[str, dict]:
+        return self.url, dict(self.counters)

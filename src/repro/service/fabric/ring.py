@@ -1,0 +1,137 @@
+"""Consistent-hash ring: routing content-addressed job ids to shards.
+
+The federation's routing layer is deliberately dumb and deterministic:
+every client computes the same ring from the same member list, so there
+is no coordinator to crash and no routing state to replicate.  Each
+shard URL is hashed onto ``vnodes`` points of a sha256 ring; a job id
+(itself a sha256 hex digest — the executor's content-addressed cache
+key) hashes to a point, and its replica set is the next ``replicas``
+*distinct* shards clockwise.  Virtual nodes smooth the load split and,
+just as important here, make the replica *sets* diverse: when a shard
+dies, its keys scatter across the survivors instead of dog-piling one
+neighbor.
+
+``route`` order is the failover contract: index 0 is the primary a
+``FederatedClient`` talks to first, the rest are the replicas it walks
+— resubmitting idempotently — when a shard is unreachable.  Because
+job ids are content addresses and every shard is journal-backed, a
+resubmission to a replica is the *same job* and produces bit-identical
+results; the routing layer never has to be right, only deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.common.errors import BadRequestError
+
+#: Points per shard on the ring; 64 keeps the max/min key-share ratio
+#: of a small ring within ~1.3x while staying cheap to build.
+DEFAULT_VNODES = 64
+
+#: Shards per replica set (primary + 1 failover copy).
+DEFAULT_REPLICAS = 2
+
+
+def parse_ring(urls: Union[str, Sequence[str]]) -> List[str]:
+    """Validate a ring member list (or comma-joined CLI string).
+
+    Raises ``BadRequestError`` — part of the service taxonomy, and a
+    ``ValueError`` so argparse-adjacent callers can catch it uniformly
+    — for an empty ring, a member that is not an ``http(s)`` URL, or
+    duplicate members (after trailing-slash normalization).  Order is
+    preserved: all ring builders must agree on it.
+    """
+    if isinstance(urls, str):
+        members = [url.strip() for url in urls.split(",") if url.strip()]
+    else:
+        members = [str(url).strip() for url in urls if str(url).strip()]
+    if not members:
+        raise BadRequestError("ring needs at least one shard URL")
+    normalized = []
+    for url in members:
+        if not url.startswith(("http://", "https://")):
+            raise BadRequestError(f"ring member {url!r} is not an "
+                                  f"http(s) URL")
+        normalized.append(url.rstrip("/"))
+    duplicates = sorted({url for url in normalized
+                         if normalized.count(url) > 1})
+    if duplicates:
+        raise BadRequestError(f"ring members must be distinct; "
+                              f"duplicated: {', '.join(duplicates)}")
+    return normalized
+
+
+def _point(token: str) -> int:
+    """A token's position on the ring: the first 8 bytes of its sha256
+    (plenty of spread, cheap integer compares)."""
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over shard URLs."""
+
+    def __init__(self, nodes: Union[str, Sequence[str]],
+                 replicas: int = DEFAULT_REPLICAS,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        self.nodes = parse_ring(nodes)
+        if replicas < 1:
+            raise BadRequestError("replicas must be >= 1")
+        if vnodes < 1:
+            raise BadRequestError("vnodes must be >= 1")
+        self.replicas = min(replicas, len(self.nodes))
+        self.vnodes = vnodes
+        points = []
+        for node in self.nodes:
+            for index in range(vnodes):
+                points.append((_point(f"{node}#{index}"), node))
+        # ties are broken by URL so equal points (astronomically
+        # unlikely) still order identically everywhere
+        points.sort()
+        self._points = points
+
+    def route(self, job_id: str) -> List[str]:
+        """The replica set for ``job_id``: primary first, then the next
+        ``replicas - 1`` distinct shards clockwise on the ring."""
+        want = _point(job_id)
+        # binary search for the first ring point at/after the key
+        lo, hi = 0, len(self._points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._points[mid][0] < want:
+                lo = mid + 1
+            else:
+                hi = mid
+        shards: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(lo + offset) % len(self._points)][1]
+            if node not in shards:
+                shards.append(node)
+                if len(shards) == self.replicas:
+                    break
+        return shards
+
+    def primary(self, job_id: str) -> str:
+        return self.route(job_id)[0]
+
+    def describe(self) -> Dict[str, Any]:
+        """Ring layout + load split, for ``GET /ring`` and smoke-test
+        artifacts.  ``share`` is each shard's fraction of the key space
+        (arc length it owns), so imbalance is visible at a glance."""
+        total = 1 << 64
+        owned = {node: 0 for node in self.nodes}
+        for index, (point, node) in enumerate(self._points):
+            # arc between this point and its predecessor (negative
+            # index wraps to the last point; % total un-wraps the arc)
+            previous = self._points[index - 1][0]
+            owned[node] += (point - previous) % total
+        return {
+            "nodes": list(self.nodes),
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+            "share": {node: round(arc / total, 4)
+                      for node, arc in owned.items()},
+        }

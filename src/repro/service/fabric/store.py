@@ -1,0 +1,83 @@
+"""Store federation: read-through peer fetch for the ``ResultStore``.
+
+One shard's ``ResultStore`` miss is often another shard's hit — after
+a failover resubmission, or when two tenants sweep overlapping grids
+against different primaries.  ``peer_fetcher`` builds the read-through
+side: a callable the ``ResultStore`` invokes on a local miss, which
+walks the peer shards' ``GET /store/<key>`` endpoints and returns a
+*validated* ``SimResult`` (or ``None``).
+
+Trust discipline mirrors local reads: a fetched payload must carry the
+current cache format marker, the right key, and a checksum that matches
+its result document — a peer serving garbage (or a truncated response)
+is treated as a miss, never filled locally.  The fill itself goes
+through ``ResultStore.put``, i.e. under the same advisory flock +
+atomic-rename discipline as any local writer.  Loop safety is
+structural: the serving endpoint reads via ``ResultStore.payload``,
+which never consults peers, so A→B→A fetch cycles cannot form.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import urllib.error
+import urllib.request
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.service.fabric.ring import parse_ring
+from repro.sim.executor import CACHE_FORMAT_VERSION, result_checksum
+from repro.sim.results import SimResult
+
+_log = logging.getLogger(__name__)
+
+#: Peer fetches are opportunistic (a miss just re-simulates), so they
+#: get a short timeout rather than the client's patient default.
+PEER_TIMEOUT_S = 3.0
+
+
+def fetch_payload(url: str, key: str,
+                  timeout_s: float = PEER_TIMEOUT_S
+                  ) -> Optional[SimResult]:
+    """Fetch + validate one peer's stored result; ``None`` on any
+    failure (unreachable peer, 404, bad payload, checksum mismatch)."""
+    try:
+        with urllib.request.urlopen(f"{url}/store/{key}",
+                                    timeout=timeout_s) as response:
+            payload = json.loads(response.read().decode())
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("format") != CACHE_FORMAT_VERSION \
+            or payload.get("key") != key \
+            or payload.get("checksum") != result_checksum(
+                payload.get("result", {})):
+        _log.warning("store federation: peer %s served an invalid "
+                     "payload for %s; ignoring", url, key[:16])
+        return None
+    try:
+        return SimResult.from_dict(payload["result"])
+    except Exception:  # noqa: BLE001 - untrusted peer data boundary
+        return None
+
+
+def peer_fetcher(peer_urls: Union[str, Sequence[str]],
+                 timeout_s: float = PEER_TIMEOUT_S
+                 ) -> Callable[[str], Optional[SimResult]]:
+    """A ``ResultStore.peer_fetch`` callable over ``peer_urls``.
+
+    Peers are tried in order; the first validated hit wins.  Every
+    failure mode — peer down, partitioned, missing entry, corrupt
+    payload — degrades to a plain miss (the caller re-simulates), so
+    federation can only ever *save* work, never corrupt or block it.
+    """
+    peers: List[str] = parse_ring(peer_urls)
+
+    def fetch(key: str) -> Optional[SimResult]:
+        for url in peers:
+            result = fetch_payload(url, key, timeout_s=timeout_s)
+            if result is not None:
+                return result
+        return None
+
+    return fetch

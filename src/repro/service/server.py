@@ -6,6 +6,17 @@ A deliberately boring, stdlib-only surface over the supervisor:
   (already done — idempotent resubmission), 400/429/503 per the error
   taxonomy in ``repro.common.errors``
 * ``GET /jobs/<id>``— job status; done jobs embed the result document
+* ``GET /jobs?watch=<id>[,<id>...]&timeout_s=N`` — long-poll: blocks
+  until at least one watched job is terminal (those docs, results
+  embedded) or the timeout elapses (``{"jobs": {}, "pending": [...]}``)
+  — the streaming feed that lets sweep clients stop fixed-interval
+  polling
+* ``GET /store/<key>`` — raw local ``ResultStore`` payload (format
+  marker + result + checksum); peer shards read-through this for
+  store federation.  Local-only by contract: never triggers a further
+  peer fetch.
+* ``GET /ring``     — this shard's view of the federation (ring
+  member URLs, its own index, ring stats); 404 on a standalone server
 * ``GET /healthz``  — liveness (200 while the process serves requests)
 * ``GET /readyz``   — readiness (503 while draining or reject-only)
 * ``GET /stats``    — supervisor counters, queue depth, level
@@ -24,6 +35,7 @@ import logging
 import math
 import signal
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -37,6 +49,11 @@ _log = logging.getLogger(__name__)
 #: Submission bodies above this are refused outright (a job spec is a
 #: few hundred bytes; anything larger is a mistake or an attack).
 MAX_BODY_BYTES = 1 << 20
+
+#: Per-request ceiling on the long-poll watch window: a client asking
+#: for more gets clamped, so a handler thread can never be parked
+#: indefinitely by one request (clients re-issue to keep watching).
+MAX_WATCH_S = 60.0
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -104,40 +121,90 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch(self._route_post)
 
+    def _split_path(self) -> Tuple[str, Dict[str, str]]:
+        """``self.path`` as ``(path, query)`` with the last value
+        winning for repeated query keys."""
+        parts = urllib.parse.urlsplit(self.path)
+        query = {key: values[-1] for key, values
+                 in urllib.parse.parse_qs(parts.query).items()}
+        return parts.path, query
+
     def _route_get(self) -> Tuple[int, Dict[str, Any]]:
         supervisor = self.supervisor
-        if self.path == "/healthz":
+        path, query = self._split_path()
+        if path == "/healthz":
             return 200, {"ok": True}
-        if self.path == "/readyz":
+        if path == "/readyz":
             if supervisor.draining:
                 raise _not_ready("draining")
             if supervisor.level == "reject":
                 raise _not_ready("rejecting")
             return 200, {"ready": True, "level": supervisor.level}
-        if self.path == "/stats":
+        if path == "/stats":
             return 200, supervisor.stats()
-        if self.path.startswith("/jobs/"):
-            job_id = self.path[len("/jobs/"):]
+        if path == "/ring":
+            fabric = getattr(self.server, "fabric", None)
+            if fabric is None:
+                raise JobNotFoundError(
+                    "this server is standalone (started without "
+                    "--ring); no federation info to report")
+            return 200, fabric
+        if path == "/jobs":
+            return self._route_watch(query)
+        if path.startswith("/store/"):
+            key = path[len("/store/"):]
+            payload = supervisor.store_payload(key)
+            if payload is None:
+                raise JobNotFoundError(f"no stored result for "
+                                       f"{key[:16]}")
+            return 200, payload
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
             doc = supervisor.status(job_id)
             if doc["status"] == "done":
                 result = supervisor.result_doc(job_id)
                 if result is not None:
                     doc["result"] = result
             return 200, doc
-        raise JobNotFoundError(f"no route for GET {self.path}")
+        raise JobNotFoundError(f"no route for GET {path}")
+
+    def _route_watch(self, query: Dict[str, str]
+                     ) -> Tuple[int, Dict[str, Any]]:
+        """Long-poll ``GET /jobs?watch=``: park the handler thread on
+        the supervisor's change condition until a watched job lands."""
+        watch = query.get("watch", "")
+        job_ids = [job_id for job_id in watch.split(",") if job_id]
+        if not job_ids:
+            raise BadRequestError("GET /jobs needs ?watch=<job id>"
+                                  "[,<job id>...]")
+        try:
+            timeout_s = float(query.get("timeout_s", "30"))
+        except ValueError:
+            raise BadRequestError("timeout_s must be a number")
+        timeout_s = min(max(timeout_s, 0.0), MAX_WATCH_S)
+        done = self.supervisor.wait_for(job_ids, timeout_s=timeout_s)
+        for job_id, doc in done.items():
+            if doc["status"] == "done":
+                result = self.supervisor.result_doc(job_id)
+                if result is not None:
+                    doc["result"] = result
+        return 200, {"jobs": done,
+                     "pending": [job_id for job_id in job_ids
+                                 if job_id not in done]}
 
     def _route_post(self) -> Tuple[int, Dict[str, Any]]:
         supervisor = self.supervisor
-        if self.path == "/jobs":
+        path, _query = self._split_path()
+        if path == "/jobs":
             spec = JobSpec.from_doc(self._read_body())
             doc = supervisor.submit(spec)
             return (200 if doc["status"] == "done" else 202), doc
-        if self.path == "/drain":
+        if path == "/drain":
             threading.Thread(target=supervisor.drain,
                              name="repro-service-drain",
                              daemon=True).start()
             return 202, {"draining": True}
-        raise JobNotFoundError(f"no route for POST {self.path}")
+        raise JobNotFoundError(f"no route for POST {path}")
 
 
 def _not_ready(why: str) -> ServiceError:
@@ -147,25 +214,32 @@ def _not_ready(why: str) -> ServiceError:
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """``ThreadingHTTPServer`` carrying its supervisor."""
+    """``ThreadingHTTPServer`` carrying its supervisor and (when the
+    process is one shard of a federation) its ring description, served
+    verbatim at ``GET /ring``."""
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int],
-                 supervisor: Supervisor) -> None:
+                 supervisor: Supervisor,
+                 fabric: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(address, ServiceHandler)
         self.supervisor = supervisor
+        self.fabric = fabric
 
 
 def serve(supervisor: Supervisor, host: str = "127.0.0.1",
           port: int = 8321,
-          install_signal_handlers: bool = True) -> None:
+          install_signal_handlers: bool = True,
+          fabric: Optional[Dict[str, Any]] = None) -> None:
     """Run the service until it drains (SIGTERM/SIGINT/``POST /drain``).
 
     Blocks the calling thread.  The supervisor is started if its worker
-    thread is not already running.
+    thread is not already running.  ``fabric`` (from ``repro serve
+    --ring``) is the shard's federation descriptor, exposed at
+    ``GET /ring``.
     """
-    server = ServiceServer((host, port), supervisor)
+    server = ServiceServer((host, port), supervisor, fabric=fabric)
     supervisor.start()
     done = threading.Event()
 

@@ -1,0 +1,138 @@
+"""The deterministic network-fault proxy, and the supervisor's
+degradation-ladder recovery probed *through* it: a partition heals and
+the service climbs back to ``full`` without a restart (the fabric
+analogue of the chaos campaign's fault-free-equivalence checks)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.common.errors import RejectingError
+from repro.service.client import ServiceClient
+from repro.service.fabric.faults import FaultProxy
+from repro.service.jobs import JobSpec
+from repro.service.server import ServiceServer
+from repro.service.supervisor import Supervisor
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live in-process service with aggressive ladder timings, plus
+    its (supervisor, port); the worker is started."""
+    supervisor = Supervisor(str(tmp_path / "service"), jobs=1,
+                            fsync=False, heartbeat_s=0.02,
+                            degrade_after=1, recover_after=1,
+                            probe_after_s=1.0)
+    server = ServiceServer(("127.0.0.1", 0), supervisor)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              daemon=True)
+    thread.start()
+    supervisor.start()
+    try:
+        yield supervisor, server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.drain(wait=True, timeout_s=10.0)
+        supervisor.close()
+
+
+class TestFaultProxy:
+    def test_transparent_relay(self, service):
+        _supervisor, port = service
+        with FaultProxy(upstream_port=port) as proxy:
+            client = ServiceClient(proxy.url, retries=1,
+                                   backoff_s=0.01)
+            assert client.healthz() == {"ok": True}
+            assert proxy.counters["accepted"] >= 1
+            assert proxy.counters["dropped"] == 0
+
+    def test_seeded_drop_sequence_is_deterministic(self):
+        """The proxy's per-connection fault decisions replay exactly
+        from the seed (the network-side analogue of chaos seeds)."""
+        def decisions(seed, n=32, prob=0.4):
+            rng = random.Random(seed)
+            return [rng.random() < prob for _ in range(n)]
+
+        # the proxy draws drop decisions from random.Random(seed) in
+        # accept order; two proxies with one seed share the sequence
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_drops_surface_as_connection_errors(self, service):
+        _supervisor, port = service
+        with FaultProxy(upstream_port=port, seed=1,
+                        drop_prob=1.0) as proxy:
+            client = ServiceClient(proxy.url, retries=1,
+                                   backoff_s=0.01)
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            assert proxy.counters["dropped"] >= 1
+
+    def test_partition_refuses_then_heals(self, service):
+        _supervisor, port = service
+        with FaultProxy(upstream_port=port) as proxy:
+            client = ServiceClient(proxy.url, retries=0,
+                                   backoff_s=0.01, timeout_s=5.0)
+            assert client.healthz() == {"ok": True}
+            proxy.partition()
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            assert proxy.counters["refused"] >= 1
+            proxy.heal()
+            assert client.healthz() == {"ok": True}
+
+    def test_dead_upstream_looks_like_partition(self, tmp_path):
+        # nothing listens on the upstream port: the client must see
+        # the exact failure shape a partition produces
+        with FaultProxy(upstream_port=1) as proxy:
+            client = ServiceClient(proxy.url, retries=0,
+                                   backoff_s=0.01, timeout_s=5.0)
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            assert proxy.counters["upstream_unreachable"] >= 1
+
+
+class TestLadderRecoveryThroughPartition:
+    def test_partition_heals_and_ladder_climbs_to_full(self, service):
+        """Satellite contract: degrade to reject-only, partition the
+        network, heal it — the reject-level probe timer plus real jobs
+        arriving through the healed proxy climb the ladder back to
+        ``full`` with no restart."""
+        supervisor, port = service
+        with FaultProxy(upstream_port=port, seed=3) as proxy:
+            client = ServiceClient(proxy.url, retries=3,
+                                   backoff_s=0.01, timeout_s=10.0)
+            # walk the ladder to the bottom (degrade_after=1: one
+            # failure per rung)
+            with supervisor._lock:
+                for _ in range(3):
+                    supervisor._note_failure("timeout")
+            assert supervisor.level == "reject"
+            # no retries here: a retry would outwait the probe timer
+            # and see the recovered service instead of the rejection
+            blunt = ServiceClient(proxy.url, retries=0, timeout_s=10.0)
+            with pytest.raises(RejectingError):
+                blunt.submit(JobSpec(workload="mcf_r",
+                                     instructions=200, threads=1))
+
+            proxy.partition()
+            with pytest.raises(ConnectionError):
+                client.healthz()
+
+            proxy.heal()
+            # the reject-level probe fires after probe_after_s and
+            # lifts the service to serial; successful jobs through the
+            # healed proxy (recover_after=1) do the rest
+            for instructions in (210, 220, 230):
+                spec = JobSpec(workload="mcf_r",
+                               instructions=instructions, threads=1)
+                result = client.run(spec, timeout_s=60.0)
+                assert result.cycles > 0
+            assert supervisor.level == "full"
+            assert supervisor.counters["recoveries"] >= 3
+            # the proxy relayed real traffic both sides of the fault
+            assert proxy.counters["accepted"] >= 4
+            assert proxy.counters["partitions"] == 1

@@ -1,0 +1,106 @@
+"""The consistent-hash ring: determinism, balance, replica placement,
+and ring-config validation — the routing layer every fabric client and
+shard must compute identically from the same member list."""
+
+import collections
+
+import pytest
+
+from repro.common.errors import BadRequestError
+from repro.service.fabric.ring import HashRing, parse_ring
+
+NODES = ["http://127.0.0.1:9001", "http://127.0.0.1:9002",
+         "http://127.0.0.1:9003"]
+
+
+def keys(n):
+    """Deterministic sha256-shaped job ids."""
+    return [f"{i:064x}" for i in range(n)]
+
+
+class TestParseRing:
+    def test_comma_string_and_list_agree(self):
+        assert parse_ring(",".join(NODES)) == parse_ring(NODES) == NODES
+
+    def test_trailing_slash_normalized(self):
+        assert parse_ring(["http://a:1/"]) == ["http://a:1"]
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_ring("")
+        with pytest.raises(BadRequestError):
+            parse_ring([" ", ""])
+
+    def test_non_http_member_rejected(self):
+        with pytest.raises(BadRequestError, match="not an http"):
+            parse_ring(["127.0.0.1:9001"])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(BadRequestError, match="distinct"):
+            parse_ring(["http://a:1", "http://a:1/"])
+
+    def test_is_a_value_error(self):
+        # CLI paths catch ValueError; the taxonomy class must be one
+        with pytest.raises(ValueError):
+            parse_ring("")
+
+
+class TestRouting:
+    def test_route_is_deterministic_across_instances(self):
+        a, b = HashRing(NODES), HashRing(NODES)
+        assert all(a.route(k) == b.route(k) for k in keys(100))
+
+    def test_replica_set_is_distinct_and_sized(self):
+        ring = HashRing(NODES, replicas=2)
+        for key in keys(100):
+            route = ring.route(key)
+            assert len(route) == 2
+            assert len(set(route)) == 2
+            assert all(node in NODES for node in route)
+
+    def test_replicas_clamped_to_ring_size(self):
+        ring = HashRing(NODES[:1], replicas=3)
+        assert ring.route(keys(1)[0]) == NODES[:1]
+
+    def test_primary_is_first_of_route(self):
+        ring = HashRing(NODES)
+        key = keys(1)[0]
+        assert ring.primary(key) == ring.route(key)[0]
+
+    def test_load_split_is_roughly_balanced(self):
+        ring = HashRing(NODES)
+        counts = collections.Counter(ring.primary(k) for k in keys(600))
+        assert set(counts) == set(NODES)  # nobody owns nothing
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_share_estimates_sum_to_one(self):
+        describe = HashRing(NODES).describe()
+        assert describe["nodes"] == NODES
+        assert abs(sum(describe["share"].values()) - 1.0) < 0.01
+
+    def test_losing_a_shard_scatters_not_dogpiles(self):
+        """Keys whose primary dies move to *several* survivors (vnodes
+        diversify the successor sets) — failover load spreads."""
+        full = HashRing(NODES)
+        victim = NODES[0]
+        orphans = [k for k in keys(400) if full.primary(k) == victim]
+        survivors = HashRing(NODES[1:])
+        landed = collections.Counter(survivors.primary(k)
+                                     for k in orphans)
+        assert set(landed) == set(NODES[1:])
+
+    def test_failover_target_is_old_replica(self):
+        """The shard a key lands on after its primary dies is the
+        key's old replica — which is why replicas are where the
+        FederatedClient resubmits."""
+        full = HashRing(NODES, replicas=2)
+        for key in keys(120):
+            primary, replica = full.route(key)
+            without = [n for n in NODES if n != primary]
+            assert HashRing(without, replicas=2).primary(key) == replica
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(BadRequestError):
+            HashRing(NODES, replicas=0)
+        with pytest.raises(BadRequestError):
+            HashRing(NODES, vnodes=0)

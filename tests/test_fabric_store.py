@@ -1,0 +1,121 @@
+"""Store federation: read-through peer fetch with checksum re-validation
+and flock'd local fill — one shard's computed result satisfies another
+shard's miss with zero re-simulation, and a lying peer is a miss."""
+
+import json
+import threading
+import urllib.request
+
+from repro.service.client import ServiceClient
+from repro.service.fabric.store import fetch_payload, peer_fetcher
+from repro.service.jobs import JobSpec
+from repro.service.server import ServiceServer
+from repro.service.supervisor import Supervisor
+from repro.sim.executor import ResultStore, cache_key
+from repro.sim.runner import run_simulation
+
+SPEC = JobSpec(workload="mcf_r", scheme="unsafe", instructions=400,
+               threads=1)
+
+
+def make_service(tmp_path, name, peers=None):
+    supervisor = Supervisor(str(tmp_path / name), jobs=1, fsync=False,
+                            heartbeat_s=0.02, peers=peers)
+    server = ServiceServer(("127.0.0.1", 0), supervisor)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              daemon=True)
+    thread.start()
+    supervisor.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return supervisor, server, url
+
+
+def shutdown(supervisor, server):
+    server.shutdown()
+    server.server_close()
+    supervisor.drain(wait=True, timeout_s=10.0)
+    supervisor.close()
+
+
+class TestPeerReadThrough:
+    def test_miss_fills_from_peer_and_serves_locally(self, tmp_path):
+        """Shard A computes; shard B (peered to A) serves the same job
+        with zero simulation, filling its local store on the way."""
+        sup_a, srv_a, url_a = make_service(tmp_path, "a")
+        try:
+            result = ServiceClient(url_a).run(SPEC, timeout_s=60.0)
+            sup_b, srv_b, url_b = make_service(tmp_path, "b",
+                                               peers=[url_a])
+            try:
+                doc = ServiceClient(url_b).run(SPEC, timeout_s=60.0)
+                assert doc.to_dict() == result.to_dict()  # bit-identical
+                assert sup_b.counters["executor_simulated"] == 0
+                assert sup_b.cache.store.peer_fills == 1
+                # the fill is durable: a fresh store at B's root hits
+                fresh = ResultStore(str(tmp_path / "b" / "cache"))
+                job_id = SPEC.job_id()
+                assert fresh.get(job_id).to_dict() == result.to_dict()
+                assert sup_b.stats()["peer_fills"] == 1
+            finally:
+                shutdown(sup_b, srv_b)
+        finally:
+            shutdown(sup_a, srv_a)
+
+    def test_store_endpoint_serves_validated_payload(self, tmp_path):
+        sup, srv, url = make_service(tmp_path, "solo")
+        try:
+            ServiceClient(url).run(SPEC, timeout_s=60.0)
+            job_id = SPEC.job_id()
+            fetched = fetch_payload(url, job_id)
+            expected = run_simulation(*SPEC.resolve())
+            assert fetched.to_dict() == expected.to_dict()
+            # unknown keys are a miss, not an error
+            assert fetch_payload(url, "0" * 64) is None
+        finally:
+            shutdown(sup, srv)
+
+    def test_peer_down_degrades_to_plain_miss(self, tmp_path):
+        fetch = peer_fetcher(["http://127.0.0.1:9"], timeout_s=0.5)
+        assert fetch("0" * 64) is None
+
+    def test_corrupt_peer_payload_rejected(self, tmp_path, monkeypatch):
+        """A peer serving a tampered result must read as a miss: the
+        checksum re-validation is the federation trust boundary."""
+        config, workload = SPEC.resolve()
+        key = cache_key(config, workload)
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(key, run_simulation(config, workload))
+        with open(store._path(key), encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["result"]["cycles"] = 1  # tamper without re-checksum
+
+        class _Resp:
+            def read(self):
+                return json.dumps(payload).encode()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *_exc):
+                return False
+
+        from repro.service.fabric.store import fetch_payload as fetch
+        monkeypatch.setattr(urllib.request, "urlopen",
+                            lambda *_a, **_k: _Resp())
+        assert fetch("http://peer", key) is None
+
+    def test_payload_is_local_only(self, tmp_path):
+        """``payload`` (the serving side) never consults peers — the
+        structural guarantee against A->B->A fetch loops."""
+        calls = []
+
+        def nosy(key):
+            calls.append(key)
+            return None
+
+        store = ResultStore(str(tmp_path / "store"), peer_fetch=nosy)
+        assert store.payload("0" * 64) is None
+        assert calls == []  # get() would have consulted the peer...
+        assert store.get("0" * 64) is None
+        assert calls == ["0" * 64]  # ...and does; payload() must not

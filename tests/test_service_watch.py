@@ -1,0 +1,206 @@
+"""The streaming results feed (long-poll ``GET /jobs?watch=``), the
+client's watch-first ``wait`` with capped-exponential poll fallback,
+and per-tenant quotas crossing the HTTP boundary."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import (BadRequestError, JobNotFoundError,
+                                 QuotaExceededError)
+from repro.service import client as client_mod
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.server import ServiceServer
+from repro.service.supervisor import Supervisor
+
+SPEC = JobSpec(workload="mcf_r", scheme="unsafe", instructions=300,
+               threads=1)
+
+
+def start_server(supervisor):
+    server = ServiceServer(("127.0.0.1", 0), supervisor)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """(supervisor, client) around a live server; worker started."""
+    supervisor = Supervisor(str(tmp_path / "service"), jobs=1,
+                            fsync=False, heartbeat_s=0.02)
+    server, url = start_server(supervisor)
+    supervisor.start()
+    client = ServiceClient(url, retries=2, backoff_s=0.01,
+                           timeout_s=10.0)
+    try:
+        yield supervisor, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.drain(wait=True, timeout_s=10.0)
+        supervisor.close()
+
+
+@pytest.fixture()
+def idle_service(tmp_path):
+    """A service whose worker is *not* running: jobs stay queued, which
+    pins down pending/timeout behavior deterministically."""
+    supervisor = Supervisor(str(tmp_path / "idle"), jobs=1, fsync=False,
+                            tenant_capacity=1)
+    server, url = start_server(supervisor)
+    client = ServiceClient(url, retries=0, timeout_s=10.0)
+    try:
+        yield supervisor, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.close()
+
+
+class FakeClock:
+    """Stands in for the ``time`` module inside the client: sleeps
+    advance virtual time instantly and are recorded."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestWatchEndpoint:
+    def test_watch_returns_terminal_doc_with_result(self, service):
+        _supervisor, client = service
+        job_id = client.submit(SPEC)["job"]
+        done = client.watch([job_id], timeout_s=30.0)
+        assert set(done) == {job_id}
+        assert done[job_id]["status"] == "done"
+        assert done[job_id]["result"]["cycles"] > 0
+
+    def test_wait_prefers_watch_and_never_polls(self, service):
+        _supervisor, client = service
+        result = client.run(SPEC, timeout_s=60.0)
+        assert result.cycles > 0
+        assert client._watch_supported is True
+
+    def test_watch_timeout_reports_pending(self, idle_service):
+        _supervisor, client = idle_service
+        job_id = client.submit(SPEC)["job"]
+        doc = client._request(
+            "GET", f"/jobs?watch={job_id}&timeout_s=0.1")
+        assert doc["jobs"] == {}
+        assert doc["pending"] == [job_id]
+
+    def test_watch_unknown_job_is_404(self, service):
+        _supervisor, client = service
+        with pytest.raises(JobNotFoundError):
+            client._request_once(
+                "GET", f"/jobs?watch={'0' * 64}&timeout_s=0.1", None)
+
+    def test_watch_without_ids_is_400(self, service):
+        _supervisor, client = service
+        with pytest.raises(BadRequestError):
+            client._request_once("GET", "/jobs?watch=", None)
+        with pytest.raises(BadRequestError):
+            client._request_once(
+                "GET", "/jobs?watch=abc&timeout_s=soon", None)
+
+    def test_fallback_when_server_predates_watch(self, service,
+                                                 monkeypatch):
+        """A 404 on the watch route flips the client to polling — the
+        compatibility path against pre-watch servers."""
+        _supervisor, client = service
+
+        def no_route(job_ids, timeout_s=0.0):
+            raise JobNotFoundError("no route for GET /jobs")
+
+        monkeypatch.setattr(client, "watch", no_route)
+        result = client.run(SPEC, timeout_s=60.0)
+        assert result.cycles > 0
+        assert client._watch_supported is False
+
+
+class TestPollBackoff:
+    def wait_against_stub(self, status_docs, **wait_kwargs):
+        """Drive ``wait`` (polling path) against a canned status doc
+        and a fake clock; returns the recorded sleep schedule."""
+        client = ServiceClient("http://127.0.0.1:1", jitter_seed=7)
+        client._watch_supported = False
+        client.job = lambda job_id: dict(status_docs)
+        clock = FakeClock()
+        original_time = client_mod.time
+        client_mod.time = clock
+        try:
+            with pytest.raises(TimeoutError):
+                client.wait("f" * 64, **wait_kwargs)
+        finally:
+            client_mod.time = original_time
+        return clock.sleeps
+
+    def test_backoff_doubles_up_to_cap(self):
+        sleeps = self.wait_against_stub(
+            {"status": "queued"}, timeout_s=30.0, poll_s=0.2,
+            poll_cap_s=2.0)
+        assert sleeps, "polling must sleep between requests"
+        # jitter is in [0.5, 1.0) of the current delay: every sleep
+        # sits inside the geometric envelope and under the cap
+        assert all(sleep <= 2.0 for sleep in sleeps)
+        assert sleeps[0] <= 0.2
+        assert max(sleeps) > 4 * sleeps[0]  # it actually backed off
+        # nothing hammers: total request count is logarithmic-ish, not
+        # timeout/poll_s (which would be 150 at the old fixed interval)
+        assert len(sleeps) < 40
+
+    def test_retry_after_hint_is_honored(self):
+        sleeps = self.wait_against_stub(
+            {"status": "queued", "retry_after_s": 0.7}, timeout_s=10.0,
+            poll_s=0.01, poll_cap_s=5.0)
+        assert sleeps
+        assert all(sleep >= 0.7 for sleep in sleeps)
+
+    def test_seeded_schedule_is_reproducible(self):
+        first = self.wait_against_stub(
+            {"status": "queued"}, timeout_s=20.0, poll_s=0.1,
+            poll_cap_s=1.0)
+        second = self.wait_against_stub(
+            {"status": "queued"}, timeout_s=20.0, poll_s=0.1,
+            poll_cap_s=1.0)
+        assert first == second  # same jitter_seed -> same timing
+
+
+class TestTenantQuotas:
+    def test_quota_crosses_the_wire(self, idle_service):
+        """tenant_capacity=1: a tenant's second distinct pending job is
+        refused with the documented 429 ``quota-exceeded``; another
+        tenant still gets in; resubmission of the queued job dedups
+        instead of double-counting against the quota."""
+        _supervisor, client = idle_service
+        first = JobSpec(workload="mcf_r", instructions=301, threads=1,
+                        tenant="alice")
+        second = JobSpec(workload="mcf_r", instructions=302, threads=1,
+                         tenant="alice")
+        third = JobSpec(workload="mcf_r", instructions=303, threads=1,
+                        tenant="bob")
+        assert client.submit(first)["status"] == "queued"
+        with pytest.raises(QuotaExceededError) as refused:
+            client.submit(second)
+        assert refused.value.code == "quota-exceeded"
+        assert refused.value.retry_after_s is not None
+        assert client.submit(third)["status"] == "queued"
+        # idempotent resubmission of a queued job is not a quota event
+        assert client.submit(first)["status"] == "queued"
+
+    def test_queued_status_carries_backpressure_hint(self, idle_service):
+        _supervisor, client = idle_service
+        doc = client.submit(SPEC)
+        assert doc["status"] == "queued"
+        assert doc["retry_after_s"] > 0
