@@ -151,7 +151,11 @@ def _cmd_bench_compare(args) -> int:
     try:
         comparison = compare_records(old, new, min_ratio=args.min_ratio)
     except ValueError as error:
-        raise SystemExit(f"repro bench --compare: {error}")
+        # exit 2 = the comparison itself is impossible (mismatched
+        # sweeps, wrong record shape) — distinct from 1 = it ran and
+        # found a regression, so CI can tell the two apart
+        print(f"repro bench --compare: {error}", file=sys.stderr)
+        return 2
     print(f"comparing     : {old_path} -> {new_path} "
           f"(min ratio {comparison['min_ratio']})")
     for label, row in comparison["schemes"].items():
@@ -595,7 +599,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--compare", nargs=2, default=None,
                          metavar=("OLD", "NEW"),
                          help="diff two bench records' hot-loop "
-                         "sections; exit 1 on per-scheme regressions")
+                         "sections; exit 1 on per-scheme regressions, "
+                         "2 when the records are not comparable "
+                         "(disjoint scheme or app sets)")
     bench_p.add_argument("--min-ratio", type=float, default=0.9,
                          help="with --compare: a scheme regresses when "
                          "new/old engine speedup falls below this "

@@ -8,6 +8,15 @@ units, memory responses) arrives through the system event queue.
 The core implements the coherence layer's ``CorePort``: it is the component
 snooped on invalidations/evictions (TSO squash rule and pin deferral) and
 the home of the Cannot-Pin Table.
+
+Hot mutable state is struct-of-arrays (see ``repro.core.rob``): the ROB
+window, flags, dependency counters and VP cycles live in preallocated
+columns indexed by ``index & mask``, and the transient work-lists
+(``_ready``, ``_waiting_loads``) hold plain uop indices — native int
+sorts, no key functions, no object dereference until a uop actually
+issues.  Because an index carries no liveness of its own, squash purges
+the dead suffix from those lists eagerly (squashes are rare; per-entry
+lazy checks on every scan are not).
 """
 
 from __future__ import annotations
@@ -20,8 +29,10 @@ from repro.common.params import (DefenseKind, PinningMode, SystemConfig,
                                  ThreatModel)
 from repro.common.stats import StatSet
 from repro.core.lsq import LoadQueue, StoreQueue
-from repro.core.tracking import VPFrontier
-from repro.core.rob import ReorderBuffer, ROBEntry
+from repro.core.rob import (FLAG_ADDR_READY, FLAG_COMPLETE, FLAG_MCV_SAFE,
+                            FLAG_OUTSTANDING, FLAG_PARKED, FLAG_PERFORMED,
+                            FLAG_PINNED, FLAG_VP_CAND, ReorderBuffer,
+                            ROBEntry)
 from repro.isa.trace import Trace
 from repro.isa.uops import MicroOp, OpClass
 from repro.mem.coherence import CoherentMemory, CorePort
@@ -65,9 +76,10 @@ class Core(CorePort):
         "_fetch_resume", "_retired_upto", "_ready", "_waiting_loads",
         "_lp_parked", "_waiters", "_data_waiters", "_resolved_mispredicts",
         "_wb_draining", "retired_count", "_progress", "_trace_len",
-        "_vp_active", "_rob_entries", "_wb_entries", "_width",
-        "_rob_capacity", "retire_sig", "_vp_frontier", "_wake_pending",
-        "_waiting_stalled", "__dict__",
+        "_vp_active", "_wb_entries", "_width", "_rob_capacity",
+        "retire_sig", "_vp_candidates", "_wake_pending",
+        "_waiting_stalled", "_cols", "_flags", "_vp_col", "_slot_mask",
+        "_handles", "__dict__",
     )
 
     def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
@@ -97,17 +109,19 @@ class Core(CorePort):
         self._cursor = 0
         self._fetch_resume = 0
         self._retired_upto = 0
-        self._ready: List[ROBEntry] = []
-        self._waiting_loads: List[ROBEntry] = []
+        # transient work-lists of uop *indices* (see module docstring)
+        self._ready: List[int] = []
+        self._waiting_loads: List[int] = []
         self._lp_parked: List[ROBEntry] = []
         self._waiters: Dict[int, List[ROBEntry]] = {}
         self._data_waiters: Dict[int, List[ROBEntry]] = {}
         self._resolved_mispredicts: set = set()
         self._wb_draining = False
-        # event-driven wakeup state (see ``quiet_until``): the frontier
-        # holds the loads the VP walk can act on; the dirty flag records
-        # that something mutated since this core's last tick began
-        self._vp_frontier = VPFrontier()
+        # event-driven wakeup state (see ``quiet_until``): the candidate
+        # counter gates the VP walk (``FLAG_VP_CAND`` marks the loads it
+        # may act on); the dirty flag records that something mutated
+        # since this core's last tick began
+        self._vp_candidates = 0
         self._wake_pending = True
         self._waiting_stalled = False
         self.retired_count = 0
@@ -118,14 +132,45 @@ class Core(CorePort):
         self._progress = progress if progress is not None \
             else RetireProgress()
         # hot-loop hoists: immutable facts and stable containers read
-        # every cycle by ``tick`` (the deques are never reassigned)
+        # every cycle by ``tick`` (the columns are never reassigned)
         self._trace_len = len(trace)
         self._vp_active = self.scheme.gates_issue or self.taint is not None
-        self._rob_entries = self.rob._entries
+        self._cols = self.rob.cols
+        self._flags = self._cols.flags
+        self._vp_col = self._cols.vp
+        self._slot_mask = self.rob._mask
+        self._handles = self.rob._handles
         self._wb_entries = self.write_buffer._entries
         self._width = self.config.core.width
         self._rob_capacity = self.rob.capacity
         mem.attach_port(core_id, self)
+
+    # The column aliases above are *derived* state: they must stay the
+    # very same list objects the ROB's ``ColumnState`` holds.  Pickling
+    # them would break that identity (``ColumnState.__getstate__``
+    # re-materializes its columns on restore), so a checkpoint drops the
+    # aliases and a restore re-hoists them from the rebuilt components.
+    _DERIVED_ALIASES = ("_cols", "_flags", "_vp_col", "_slot_mask",
+                        "_handles", "_wb_entries")
+
+    def __getstate__(self):
+        dict_state, slots = object.__getstate__(self)
+        for name in self._DERIVED_ALIASES:
+            slots.pop(name, None)
+        return (dict_state, slots)
+
+    def __setstate__(self, state) -> None:
+        dict_state, slots = state
+        if dict_state:
+            self.__dict__.update(dict_state)
+        for name, value in slots.items():
+            setattr(self, name, value)
+        self._cols = self.rob.cols
+        self._flags = self._cols.flags
+        self._vp_col = self._cols.vp
+        self._slot_mask = self.rob._mask
+        self._handles = self.rob._handles
+        self._wb_entries = self.write_buffer._entries
 
     # ------------------------------------------------------------------
     # CorePort (coherence layer callbacks)
@@ -157,17 +202,14 @@ class Core(CorePort):
         """The TSO conservative rule: a performed, unretired load of an
         invalidated/evicted line must be squashed — unless pinned, or it is
         the oldest load in the ROB (aggressive implementation, §3.3)."""
-        victims = [load for load in self.lq.performed_unretired(line)
-                   if not load.pinned]
-        if not victims:
+        oldest = self.lq.oldest() if self.config.pinning.aggressive_tso \
+            else None
+        for load in self.lq.performed_unretired(line):
+            # program order: the first surviving victim is the squash point
+            if load.pinned or load is oldest:
+                continue
+            self._squash_from(load.index, f"mcv_{kind}")
             return
-        if self.config.pinning.aggressive_tso:
-            oldest = self.lq.oldest()
-            victims = [v for v in victims if v is not oldest]
-            if not victims:
-                return
-        first = min(victims, key=lambda v: v.index)
-        self._squash_from(first.index, f"mcv_{kind}")
 
     # ------------------------------------------------------------------
     # Per-cycle step
@@ -194,8 +236,7 @@ class Core(CorePort):
         # loop and setting it is inert under the reference loop)
         self._wake_pending = False
         self.cycle = cycle
-        rob_entries = self._rob_entries
-        if rob_entries:
+        if self._cursor > self._retired_upto:
             self._retire_stage()
         if self._vp_active:
             self._update_vps()
@@ -209,7 +250,7 @@ class Core(CorePort):
             self._dispatch_stage()
         if self._wb_entries and not self._wb_draining:
             self._kick_write_buffer()
-        if (not rob_entries and not self._wb_entries
+        if (self._cursor == self._retired_upto and not self._wb_entries
                 and self._cursor >= self._trace_len):
             self.done_cycle = cycle
             self.stats.set("done_cycle", cycle)
@@ -242,6 +283,11 @@ class Core(CorePort):
         are quiet on the same fixpoint argument: an issue mode can only
         flip via a flagged mutation or an event (cache fills move DOM's
         hit probe; VP marks and retires move STT's taint roots).
+
+        Because all per-slot timing state (VP cycles, completion cycles)
+        is stored as *absolute* cycle numbers in the columns, a quiet
+        region needs no per-slot touches at all: the caller advances the
+        clock in one arithmetic step and every column value stays valid.
         """
         if self._wake_pending and (self._vp_active or self._pinning):
             return 0
@@ -251,9 +297,9 @@ class Core(CorePort):
             return 0
         if self._wb_entries and not self._wb_draining:
             return 0
-        entries = self._rob_entries
-        if entries:
-            head = entries[0]
+        occupancy = self._cursor - self._retired_upto
+        if occupancy:
+            head = self._handles[self._retired_upto & self._slot_mask]
             opclass = head.uop.opclass
             if opclass is OpClass.ATOMIC:
                 return 0    # head-issue attempt runs inside retire
@@ -270,7 +316,7 @@ class Core(CorePort):
             elif head.complete:
                 return 0    # may retire (or attempt to) next tick
         if self._cursor < self._trace_len \
-                and len(entries) < self._rob_capacity:
+                and occupancy < self._rob_capacity:
             uop = self.trace[self._cursor]
             if not ((uop.is_load and self.lq.full)
                     or (uop.is_store and self.sq.full)):
@@ -305,11 +351,10 @@ class Core(CorePort):
     def _retire_stage(self) -> None:
         retired = 0
         width = self.config.core.width
+        rob = self.rob
         while retired < width:
-            head = self.rob.head()
-            if head is None:
-                break
-            if not self._head_may_retire(head):
+            head = rob.head()
+            if head is None or not self._head_may_retire(head):
                 break
             self._retire(head)
             retired += 1
@@ -376,27 +421,44 @@ class Core(CorePort):
         issues), including the calls that find ``vp_cycle`` already set
         but changed ``mcv_safe`` just before."""
         self._wake_pending = True
-        if entry.vp_cycle is None:
-            entry.vp_cycle = self.cycle
-            self._vp_frontier.discard(entry.index)
+        cols = entry.cols
+        slot = entry.slot
+        if cols.vp[slot] < 0:
+            cols.vp[slot] = self.cycle
+            if cols.flags[slot] & FLAG_VP_CAND:
+                cols.flags[slot] &= ~FLAG_VP_CAND
+                self._vp_candidates -= 1
             self.stats.bump("vp_reached")
             self.scheme.on_load_vp(entry)
 
     def _update_vps(self) -> None:
-        """Mark loads whose VP conditions now hold, walking the frontier
-        of candidates (address generated, VP pending) in program order.
-        The below-MCV conditions are monotone in program order, so the
-        walk stops at the first candidate that fails them — equivalent
-        to the seed's full-LQ walk (see ``VPFrontier``)."""
+        """Mark loads whose VP conditions now hold, walking the load
+        queue in program order and skipping non-candidates (no address
+        yet, or VP already marked) on a single flags read.
+
+        The walk is equivalent to the seed's full-LQ walk: candidates
+        carry ``FLAG_VP_CAND`` (set at address generation, cleared on
+        mark/squash), and ``_vp_candidates`` counts them so an empty
+        frontier skips the walk entirely — a sound "nothing to mark"
+        signal for ``quiet_until``, since the flag is only ever set from
+        an address-ready event.  The below conditions over *older* uops
+        are monotone in program order, so the walk stops at the first
+        candidate that fails them; non-candidates never reached the
+        per-load checks in the seed walk (they ``continue``d first), so
+        skipping them changes nothing, and candidates are visited in
+        ascending program order, preserving the marking (and therefore
+        event-scheduling) order exactly."""
         if not self.scheme.gates_issue and self.taint is None:
             return
-        if not self._vp_frontier:
+        if not self._vp_candidates:
             return
         level = self.config.threat_model.level
         pinned_mode = self._pinning
         aggressive = self.config.pinning.aggressive_tso
         vp = self.vp_state
-        for load in self._vp_frontier.candidates():
+        for load in self.lq:
+            if not load.vp_candidate:
+                continue
             index = load.index
             # conditions over *older* uops are monotone in program order:
             # once one fails, it fails for every younger load too
@@ -426,17 +488,16 @@ class Core(CorePort):
     def _issue_stage(self) -> None:
         width = self.config.core.width
         if self._ready:
-            self._ready.sort(key=lambda e: e.index)
+            self._ready.sort()
             issuable = self._ready
             self._ready = []
             budget = width
-            for entry in issuable:
-                if entry.squashed:
-                    continue
+            rob = self.rob
+            for index in issuable:
                 if budget == 0:
-                    self._ready.append(entry)
+                    self._ready.append(index)
                     continue
-                self._begin_execution(entry)
+                self._begin_execution(rob.find(index))
                 budget -= 1
         self._issue_waiting_loads()
 
@@ -465,34 +526,43 @@ class Core(CorePort):
         self.events.schedule_after(latency, self._complete, entry)
 
     def _complete(self, entry: ROBEntry) -> None:
-        if entry.squashed or entry.complete:
+        if entry.squashed:
             return
-        entry.complete = True
-        entry.complete_cycle = self.events.now
+        cols = entry.cols
+        slot = entry.slot
+        if cols.flags[slot] & FLAG_COMPLETE:
+            return
+        cols.flags[slot] |= FLAG_COMPLETE
+        cols.complete_cycle[slot] = self.events.now
         self._wake_dependents(entry.index)
 
     def _wake_dependents(self, index: int) -> None:
         waiters = self._waiters.pop(index, None)
         if waiters:
+            ready = self._ready
             for waiter in waiters:
                 if waiter.squashed:
                     continue
-                waiter.pending_deps -= 1
-                if waiter.pending_deps == 0:
-                    self._ready.append(waiter)
+                pending = waiter.cols.pending
+                slot = waiter.slot
+                pending[slot] -= 1
+                if pending[slot] == 0:
+                    ready.append(waiter.index)
         data_waiters = self._data_waiters.pop(index, None)
         if data_waiters:
             for waiter in data_waiters:
                 if waiter.squashed:
                     continue
-                waiter.pending_data_deps -= 1
+                waiter.cols.pending_data[waiter.slot] -= 1
                 self._maybe_complete_store(waiter)
 
     def _maybe_complete_store(self, store: ROBEntry) -> None:
         """A store completes once its address is generated *and* its data
         operands arrived; the address alone opens/closes the aliasing and
         exception windows."""
-        if store.addr_ready and store.pending_data_deps == 0:
+        cols = store.cols
+        slot = store.slot
+        if cols.flags[slot] & FLAG_ADDR_READY and cols.pending_data[slot] == 0:
             self._complete(store)
 
     def _on_branch_resolved(self, entry: ROBEntry) -> None:
@@ -515,15 +585,18 @@ class Core(CorePort):
         if entry.squashed:
             return
         self._wake_pending = True
-        entry.addr_ready = True
+        cols = entry.cols
+        slot = entry.slot
+        cols.flags[slot] |= FLAG_ADDR_READY
         opclass = entry.uop.opclass
         self.vp_state.unknown_addr_memops.discard(entry.index)
         if opclass is OpClass.LOAD:
-            self._waiting_loads.append(entry)
+            self._waiting_loads.append(entry.index)
             # a fresh load invalidates any "all stalled" conclusion
             self._waiting_stalled = False
-            if self._vp_active and entry.vp_cycle is None:
-                self._vp_frontier.add(entry)
+            if self._vp_active and cols.vp[slot] < 0:
+                cols.flags[slot] |= FLAG_VP_CAND
+                self._vp_candidates += 1
         else:   # STORE / ATOMIC
             self.vp_state.unknown_addr_stores.discard(entry.index)
             self._alias_squash_check(entry)
@@ -534,30 +607,35 @@ class Core(CorePort):
     def _alias_squash_check(self, store: ROBEntry) -> None:
         """The store's address just became known: any younger load of the
         same line that already performed read a stale value (memory
-        dependence mis-speculation) and must replay."""
-        victims = [load for load in self.lq.performed_unretired(store.line)
-                   if load.index > store.index]
-        if victims:
-            self.stats.bump("squashes_alias")
-            self._squash_from(min(v.index for v in victims), None)
-            self._fetch_resume = max(
-                self._fetch_resume,
-                self.events.now + self.config.core.branch_resolve_latency)
+        dependence mis-speculation) and must replay.  The vulnerable-load
+        list is program-ordered, so the first younger entry is the oldest
+        victim — the squash point."""
+        store_index = store.index
+        for load in self.lq.performed_unretired(store.line):
+            if load.index > store_index:
+                self.stats.bump("squashes_alias")
+                self._squash_from(load.index, None)
+                self._fetch_resume = max(
+                    self._fetch_resume,
+                    self.events.now + self.config.core.branch_resolve_latency)
+                return
 
     # -- loads -----------------------------------------------------------
 
     def _issue_waiting_loads(self) -> None:
         if not self._waiting_loads:
             return
-        self._waiting_loads.sort(key=lambda e: e.index)
+        self._waiting_loads.sort()
         budget = L1_PORTS
-        keep: List[ROBEntry] = []
+        keep: List[int] = []
         # every kept load stalled by its scheme (not by the port budget)
         # → re-running this stage is a no-op until an event or a flagged
         # mutation flips an issue mode; read by ``quiet_until``
         stalled_only = True
-        for entry in self._waiting_loads:
-            if entry.squashed or entry.issued:
+        rob = self.rob
+        for index in self._waiting_loads:
+            entry = rob.find(index)
+            if entry.issued:
                 continue
             mode = self._load_issue_mode(entry)
             if budget and mode is not IssueMode.STALL:
@@ -567,7 +645,7 @@ class Core(CorePort):
                     self._issue_load(entry)
                 budget -= 1
             else:
-                keep.append(entry)
+                keep.append(index)
                 if mode is not IssueMode.STALL:
                     stalled_only = False
         self._waiting_loads = keep
@@ -665,25 +743,43 @@ class Core(CorePort):
         if entry.squashed:
             return
         self._wake_pending = True
-        entry.outstanding = False
-        if (self.sq.forwarding_store(entry) is not None
-                or self.write_buffer.contains_line(entry.line)):
+        cols = entry.cols
+        slot = entry.slot
+        flags = cols.flags
+        flags[slot] &= ~FLAG_OUTSTANDING
+        # inlined ``sq.forwarding_store``: this runs once per load-data
+        # arrival, so the alias probe reads the flags column directly
+        # (same backward scan, same first-hit semantics)
+        sq = self.sq
+        sq_ring = sq._ring
+        sq_qmask = sq._qmask
+        index = entry.index
+        line = entry.line
+        aliased = False
+        for pos in range(sq._tail - 1, sq._head - 1, -1):
+            store = sq_ring[pos & sq_qmask]
+            if store.index >= index:
+                continue
+            if store.line == line and flags[store.slot] & FLAG_ADDR_READY:
+                aliased = True
+                break
+        if aliased or self.write_buffer.contains_line(line):
             # an older store to this line resolved while the load was in
             # flight: the memory value is stale — replay (it will forward)
-            self._squash_from(entry.index, "alias")
+            self._squash_from(index, "alias")
             return
         if (self._pinning
                 and self.config.pinning.mode is PinningMode.LATE
-                and not entry.pinned and not entry.mcv_safe
-                and entry.vp_cycle is not None):
+                and not flags[slot] & (FLAG_PINNED | FLAG_MCV_SAFE)
+                and cols.vp[slot] >= 0):
             # this was an LP-authorized issue: pin before consuming
             if not self.controller.lp_data_arrived(entry):
-                entry.parked = True
+                flags[slot] |= FLAG_PARKED
                 self._lp_parked.append(entry)
                 return
-        if entry.pinned:
+        if flags[slot] & FLAG_PINNED:
             self.controller.on_pinned_fill(entry)
-        entry.performed = True
+        flags[slot] |= FLAG_PERFORMED
         self._complete(entry)
 
     def _lp_retry_parked(self) -> None:
@@ -730,10 +826,8 @@ class Core(CorePort):
         dispatched = 0
         trace = self.trace
         trace_len = self._trace_len
-        rob_entries = self._rob_entries
-        rob_capacity = self._rob_capacity
         while dispatched < self._width and self._cursor < trace_len \
-                and len(rob_entries) < rob_capacity:
+                and not self.rob.full:
             uop = trace[self._cursor]
             if uop.is_load and self.lq.full:
                 break
@@ -747,7 +841,8 @@ class Core(CorePort):
 
     def _dispatch(self, uop: MicroOp) -> None:
         self._wake_pending = True
-        entry = ROBEntry(uop, 0, self.cycle)
+        entry = ROBEntry(uop, 0, self.cycle, self._cols,
+                         uop.index & self._slot_mask)
         pending = 0
         for dep in uop.deps:
             if not self._value_available(dep):
@@ -781,13 +876,14 @@ class Core(CorePort):
         if self.taint is not None:
             self.taint.on_dispatch(uop)
         if pending == 0 and opclass not in (OpClass.FENCE, OpClass.BARRIER):
-            self._ready.append(entry)
+            self._ready.append(entry.index)
 
     def _value_available(self, dep: int) -> bool:
+        # a dep is always older than the dispatching uop, so when it is
+        # unretired it is in the ROB window and ``find`` returns its handle
         if dep < self._retired_upto:
             return True
-        producer = self.rob.find(dep)
-        return producer is not None and producer.complete
+        return self.rob.find(dep).complete
 
     # ------------------------------------------------------------------
     # Squash
@@ -803,16 +899,24 @@ class Core(CorePort):
                 self._fetch_resume,
                 self.events.now + self.config.core.branch_resolve_latency)
         squashed = 0
-        entries = self._rob_entries
-        by_index = self.rob._by_index
-        while entries:
-            tail = entries[-1]
-            if tail.index < index:
-                break
-            entries.pop()           # inlined rob.pop_tail
-            del by_index[tail.index]
-            self._cleanup_squashed(tail)
-            squashed += 1
+        cursor = self._cursor
+        low = index if index > self._retired_upto else self._retired_upto
+        if cursor > low:
+            handles = self._handles
+            mask = self._slot_mask
+            for idx in range(cursor - 1, low - 1, -1):
+                slot = idx & mask
+                entry = handles[slot]
+                handles[slot] = None    # inlined rob.pop_tail
+                self._cleanup_squashed(entry)
+            squashed = cursor - low
+            self.rob._next = low
+            # the transient work-lists hold plain indices, which carry no
+            # liveness: drop the dead suffix eagerly (squashes are rare,
+            # per-entry staleness checks on every scan are not)
+            self._ready = [i for i in self._ready if i < index]
+            self._waiting_loads = [i for i in self._waiting_loads
+                                   if i < index]
         self.lq.squash_younger_or_equal(index)
         self.sq.squash_younger_or_equal(index)
         self._cursor = min(self._cursor, index)
@@ -826,7 +930,11 @@ class Core(CorePort):
         vp = self.vp_state
         index = entry.index
         if opclass is OpClass.LOAD:
-            self._vp_frontier.discard(index)
+            flags = entry.cols.flags
+            slot = entry.slot
+            if flags[slot] & FLAG_VP_CAND:
+                flags[slot] &= ~FLAG_VP_CAND
+                self._vp_candidates -= 1
             vp.unretired_loads.discard(index)
             vp.unknown_addr_memops.discard(index)
             self.controller.on_load_squash(entry)

@@ -5,15 +5,20 @@ P remains" (unresolved branch, unknown-address store, unretired load...).
 ``LazyMinSet`` tracks the minimum program-order index of a dynamic set with
 O(log n) inserts and amortized O(log n) removals via lazy heap deletion, so
 per-cycle VP checks stay cheap even with a 192-entry ROB.
+
+The VP *frontier* — the set of loads whose VP could be marked this cycle
+(address generated, VP not yet reached, still in flight) — used to be a
+side dict of candidate entries.  With the column layout a candidate is
+one flag bit (``FLAG_VP_CAND``) plus a live counter on the core
+(``Core._vp_candidates``), and the walk is a load-queue ring scan that
+skips non-candidates on a single flags read; see ``Core._update_vps``
+for the equivalence argument against the seed's full-LQ walk.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, Optional, Set, TYPE_CHECKING
-
-if TYPE_CHECKING:
-    from repro.core.rob import ROBEntry
+from typing import Optional, Set
 
 
 class LazyMinSet:
@@ -55,59 +60,3 @@ class LazyMinSet:
     def clear(self) -> None:
         self._heap.clear()
         self._live.clear()
-
-
-class VPFrontier:
-    """The set of loads whose VP *could* be marked: address generated,
-    VP not yet reached, still in flight.
-
-    The seed's ``Core._update_vps`` walked the whole load queue every
-    cycle; almost all of that walk was ``continue``s over loads that are
-    either already marked or have no address yet — neither of which can
-    become markable without an event (address generation, data arrival)
-    or a tick-time mutation (retire, squash, pin).  Tracking the
-    candidates incrementally turns the walk into an iteration over only
-    the loads the VP conditions are actually evaluated on, and gives
-    ``Core.quiet_until`` a sound "nothing to mark" signal: an empty
-    frontier cannot become non-empty without going through
-    ``add`` (address-ready event), so a quiet core needs no VP walk.
-
-    The walk over ``candidates()`` is equivalent to the seed's LQ walk:
-    the break conditions (``none_below`` checks) are monotone in program
-    order, so if the seed walk broke at a *non*-candidate index ``i``,
-    the same check fails again at the next candidate ``j > i``; and
-    non-candidates never reach the per-load checks in the seed walk
-    (they ``continue`` first), so skipping them changes nothing.
-    Candidates are visited in ascending program order, preserving the
-    marking order (and therefore event-scheduling order) exactly.
-    """
-
-    __slots__ = ("_entries",)
-
-    def __init__(self) -> None:
-        self._entries: Dict[int, "ROBEntry"] = {}
-
-    def add(self, entry: "ROBEntry") -> None:
-        self._entries[entry.index] = entry
-
-    def discard(self, index: int) -> None:
-        self._entries.pop(index, None)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __bool__(self) -> bool:
-        return bool(self._entries)
-
-    def candidates(self) -> Iterator["ROBEntry"]:
-        """Live candidates in ascending program order (snapshot: marking
-        a candidate mid-iteration discards it without disturbing the
-        walk)."""
-        entries = self._entries
-        for index in sorted(entries):
-            entry = entries.get(index)
-            if entry is not None:
-                yield entry
-
-    def clear(self) -> None:
-        self._entries.clear()

@@ -33,7 +33,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.common.params import PinningMode
 from repro.common.stats import StatSet
-from repro.core.rob import ROBEntry
+from repro.core.rob import FLAG_MCV_SAFE, ROBEntry
 from repro.pinning.cpt import CannotPinTable
 from repro.pinning.cst import CacheShadowTable
 from repro.pinning.recording import L1TagPinRecord
@@ -129,10 +129,11 @@ class PinnedLoadsController:
         self._next_lq_id += 1
 
     def _release(self, entry: ROBEntry) -> None:
-        if entry.lq_id is not None:
-            self._live_lq.pop(entry.lq_id, None)
-            self._cst_denied_seen.discard(entry.lq_id)
-            self._denied_reasons.pop(entry.lq_id, None)
+        lq_id = entry.lq_id
+        if lq_id is not None:
+            self._live_lq.pop(lq_id, None)
+            self._cst_denied_seen.discard(lq_id)
+            self._denied_reasons.pop(lq_id, None)
         if entry.pinned:
             self._unpin(entry)
 
@@ -204,8 +205,8 @@ class PinnedLoadsController:
                 self.dir_cst.clear()
             else:
                 return
-        loads = self.core.lq._loads
-        if not loads:
+        lq = self.core.lq
+        if lq._tail == lq._head:
             return
         # The pin chain never mutates the VP condition sets (it marks
         # ``mcv_safe``/``vp_cycle`` and touches CST/CPT state only), so
@@ -227,8 +228,11 @@ class PinnedLoadsController:
         ser_bound = m if m is not None else _NO_MIN
         m = vp.unretired_loads.min()
         url_bound = m if m is not None else _NO_MIN
-        for load in loads:
-            if load.mcv_safe:
+        ring = lq._ring
+        qmask = lq._qmask
+        for pos in range(lq._head, lq._tail):
+            load = ring[pos & qmask]
+            if load.cols.flags[load.slot] & FLAG_MCV_SAFE:
                 continue
             if not self._try_make_safe(load, bound, ser_bound, url_bound):
                 break
@@ -287,7 +291,7 @@ class PinnedLoadsController:
         first younger store."""
         index = load.index
         older_sq_stores = 0
-        for store in self.core.sq._stores:
+        for store in self.core.sq:
             if store.index >= index:
                 break
             older_sq_stores += 1

@@ -10,6 +10,11 @@ We track, per uop, the set of *root loads* in its dataflow backward slice
 is still in flight and pre-VP, so untaint-on-VP is a O(roots) liveness check
 at query time instead of an eager broadcast.
 
+With the column ROB layout a root's liveness probe is pure integer
+arithmetic: live means "inside the contiguous window ``[head, next)``",
+and pre-VP means "the VP column at ``root & mask`` is still -1" — no
+dict lookup, no entry object.
+
 Quiet/wakeup contract (``Core.quiet_until``): taint has no per-cycle
 machinery of its own — ``addr_tainted`` is a pure function of the root
 maps and of each root's (vp_cycle, ROB residency) state.  Roots are
@@ -23,7 +28,7 @@ mutation or event.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet
 
 from repro.core.rob import ReorderBuffer, ROBEntry
 from repro.isa.uops import MicroOp
@@ -61,32 +66,39 @@ class TaintTracker:
     def _live_subset(self, roots: FrozenSet[int]) -> FrozenSet[int]:
         """Drop roots that are already architectural (retired / post-VP).
         The all-live case (by far the most common) allocates nothing."""
-        find = self._rob._by_index.get
+        rob = self._rob
+        head = rob._head
+        nxt = rob._next
+        vp = rob.cols.vp
+        mask = rob._mask
         # order-insensitive probe: any dead root takes the same fallback
         for root in roots:  # repro: allow-set-iteration
-            producer = find(root)
-            if producer is None or producer.vp_cycle is not None:
+            if root < head or root >= nxt or vp[root & mask] >= 0:
                 break
         else:
             return roots
         return frozenset(
             r for r in roots
-            if (p := find(r)) is not None and p.vp_cycle is None)
+            if head <= r < nxt and vp[r & mask] < 0)
 
     def _is_live_pre_vp(self, root_index: int) -> bool:
-        entry: Optional[ROBEntry] = self._rob.find(root_index)
-        return entry is not None and entry.vp_cycle is None
+        rob = self._rob
+        return rob._head <= root_index < rob._next \
+            and rob.cols.vp[root_index & rob._mask] < 0
 
     def addr_tainted(self, entry: ROBEntry) -> bool:
         """Is the load's address derived from a pre-VP speculative load?"""
         output_roots = self._output_roots
-        find = self._rob._by_index.get
+        rob = self._rob
+        head = rob._head
+        nxt = rob._next
+        vp = rob.cols.vp
+        mask = rob._mask
         for dep in entry.uop.deps:
             roots = output_roots.get(dep)
             if roots:
                 for root in roots:
-                    producer = find(root)
-                    if producer is not None and producer.vp_cycle is None:
+                    if head <= root < nxt and vp[root & mask] < 0:
                         return True
         return False
 

@@ -49,7 +49,10 @@ DEFAULT_SCHEMES = ("unsafe", "fence-ep", "dom-ep", "stt-ep")
 #: geomean in the record covers every label except ``unsafe``.
 DEFAULT_HOT_SCHEMES = ("unsafe", "fence-comp", "dom-comp", "stt-comp",
                        "fence-lp", "fence-ep")
-DEFAULT_HOT_APPS = ("mcf_r",)
+#: Two pressure profiles: ``mcf_r`` is the load-heavy pointer chaser
+#: the paper centers on; ``xz_r`` is branchier with a deeper dependent
+#: chain, so the engine's quiet-region batching sees shorter runs.
+DEFAULT_HOT_APPS = ("mcf_r", "xz_r")
 
 
 def scheme_config(label: str, base: Optional[SystemConfig] = None,
@@ -259,6 +262,104 @@ def _probe_tree(src: str, apps: List[str], instructions: int,
     return json.loads(proc.stdout)
 
 
+#: Mid-run snapshot/restore probe, cross-tree safe like
+#: ``_BASELINE_PROBE`` (``snapshot_system``/``restore_system`` have
+#: been stable API since checkpoints landed), so the same measurement
+#: code prices format v4 under this tree and v3 under a pre-column
+#: checkout.
+_CHECKPOINT_PROBE = """
+import json, sys, time
+from repro.sim.bench import scheme_config
+from repro.sim.checkpoint import (CHECKPOINT_FORMAT_VERSION,
+                                  restore_system, snapshot_system)
+from repro.sim.system import System
+from repro.workloads import spec17_workload
+
+app = sys.argv[1]
+instructions = int(sys.argv[2])
+schemes = sys.argv[3].split(",")
+repeats = int(sys.argv[4])
+wl = spec17_workload(app, instructions=instructions)
+out = {"format": CHECKPOINT_FORMAT_VERSION, "per_scheme": {}}
+for label in schemes:
+    config = scheme_config(label)
+    full = System(config, wl)
+    full.mem.warm(wl)
+    total = full.run()
+    paused = System(config, wl)
+    paused.mem.warm(wl)
+    paused.run(stop_cycle=max(1, total // 2))
+    snap_best = restore_best = float("inf")
+    blob = b""
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        blob = snapshot_system(paused)
+        t1 = time.perf_counter()
+        restore_system(blob)
+        t2 = time.perf_counter()
+        snap_best = min(snap_best, t1 - t0)
+        restore_best = min(restore_best, t2 - t1)
+    out["per_scheme"][label] = {
+        "bytes": len(blob),
+        "snapshot_ms": round(snap_best * 1e3, 3),
+        "restore_ms": round(restore_best * 1e3, 3),
+        "cycle": paused.cycles,
+        "total_cycles": total,
+    }
+print(json.dumps(out))
+"""
+
+
+def _probe_checkpoint_tree(src: str, app: str, instructions: int,
+                           schemes: List[str],
+                           repeats: int) -> Dict[str, object]:
+    env = dict(os.environ,  # repro: allow-env-read
+               PYTHONPATH=src, PYTHONHASHSEED="0")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHECKPOINT_PROBE, app, str(instructions),
+         ",".join(schemes), str(repeats)],
+        capture_output=True, text=True, env=env)
+    if proc.returncode:
+        raise RuntimeError(
+            f"checkpoint probe failed under {src}: {proc.stderr[-1000:]}")
+    return json.loads(proc.stdout)
+
+
+#: Checkpoint-phase scheme sample: the unprotected floor plus one cell
+#: per defense family — enough to price the format without running the
+#: full grid through the snapshot path.
+DEFAULT_CHECKPOINT_SCHEMES = ("unsafe", "fence-comp", "dom-ep", "stt-lp")
+
+
+def checkpoint_phase(schemes: Optional[List[str]] = None,
+                     instructions: int = 4000, app: str = "mcf_r",
+                     repeats: int = 5,
+                     baseline_src: Optional[str] = None,
+                     ) -> Dict[str, object]:
+    """Mid-run snapshot size and snapshot/restore wall time per scheme
+    (best of ``repeats``), for the bench record's ``checkpoint``
+    section.  With ``baseline_src`` pointing at a pre-column checkout,
+    the same probe prices that tree's format (v3) beside this one, so
+    the record shows the columns' serialization win, not just its
+    absolute cost."""
+    schemes = list(schemes) if schemes else list(DEFAULT_CHECKPOINT_SCHEMES)
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    section: Dict[str, object] = {
+        "app": app,
+        "instructions": instructions,
+        "repeats": repeats,
+    }
+    section.update(_probe_checkpoint_tree(here, app, instructions,
+                                          schemes, repeats))
+    if baseline_src is not None:
+        baseline = _probe_checkpoint_tree(baseline_src, app, instructions,
+                                          schemes, repeats)
+        baseline["src"] = baseline_src
+        section["baseline"] = baseline
+    return section
+
+
 def baseline_comparison(baseline_src: str, apps: List[str],
                         instructions: int,
                         schemes: Optional[List[str]] = None,
@@ -430,6 +531,10 @@ def run_hotloop_bench(hot_apps: List[str], hot_schemes: List[str],
         "hot_loop": hot_loop_matrix(hot_apps, hot_schemes, instructions,
                                     repeats=repeats),
     }
+    record["checkpoint"] = checkpoint_phase(
+        [s for s in DEFAULT_CHECKPOINT_SCHEMES if s in hot_schemes]
+        or list(DEFAULT_CHECKPOINT_SCHEMES),
+        instructions=instructions, baseline_src=baseline_src)
     if baseline_src is not None:
         record["hot_loop_vs_baseline"] = baseline_comparison(
             baseline_src, list(hot_apps), instructions,
@@ -482,13 +587,48 @@ def compare_records(old: Dict[str, object], new: Dict[str, object],
     engine-vs-reference speedup (a ratio of two runs on the *same*
     machine).  A scheme regresses when ``new/old`` falls below
     ``min_ratio``; schemes present in only one record are listed but
-    never counted as regressions."""
+    never counted as regressions.  Records with *no* scheme or app in
+    common cannot be compared at all — that is a usage error
+    (mismatched ``--hot-schemes``/``--hot-apps`` sweeps), not a clean
+    bill of health, so it raises instead of reporting zero
+    regressions."""
     old_schemes = old.get("hot_loop", {}).get("per_scheme", {})
     new_schemes = new.get("hot_loop", {}).get("per_scheme", {})
     if not old_schemes or not new_schemes:
         raise ValueError(
             "both records need a hot_loop.per_scheme section "
             "(produced by `repro bench` / `repro bench --hot-only`)")
+    if not set(old_schemes) & set(new_schemes):
+        raise ValueError(
+            "records share no hot-loop scheme: old measures "
+            f"[{', '.join(sorted(old_schemes))}], new measures "
+            f"[{', '.join(sorted(new_schemes))}]; re-run both sweeps "
+            "with the same --hot-schemes list")
+    old_apps = list(old.get("hot_loop", {}).get("apps") or ())
+    new_apps = set(new.get("hot_loop", {}).get("apps") or ())
+    if old_apps and new_apps and not set(old_apps) & new_apps:
+        raise ValueError(
+            "records share no hot-loop app: old measures "
+            f"[{', '.join(sorted(old_apps))}], new measures "
+            f"[{', '.join(sorted(new_apps))}]; per-scheme speedups "
+            "averaged over disjoint apps are not comparable — re-run "
+            "both sweeps with the same --hot-apps list")
+    # When the app sets differ but overlap, a recorded per-scheme
+    # speedup is a geomean over *different* app mixes — comparing them
+    # raw manufactures phantom regressions (or hides real ones).  The
+    # per-scheme comparison therefore restricts to the shared apps,
+    # recomputed from the per-app cells, mirroring how schemes present
+    # in only one record are excluded from the regression check.
+    shared_apps = [a for a in old_apps if a in new_apps]
+    restrict_apps = bool(shared_apps) and set(old_apps) != new_apps
+
+    def cell_speedup(entry: Dict[str, object]) -> float:
+        cells = entry.get("apps") if restrict_apps else None
+        if cells and all(a in cells for a in shared_apps):
+            return round(geomean(cells[a]["speedup"]
+                                 for a in shared_apps), 3)
+        return entry["speedup"]
+
     rows: Dict[str, object] = {}
     regressions: List[str] = []
     for label in sorted(set(old_schemes) | set(new_schemes)):
@@ -496,18 +636,19 @@ def compare_records(old: Dict[str, object], new: Dict[str, object],
         new_entry = new_schemes.get(label)
         if old_entry is None or new_entry is None:
             rows[label] = {
-                "old_speedup": old_entry and old_entry["speedup"],
-                "new_speedup": new_entry and new_entry["speedup"],
+                "old_speedup": old_entry and cell_speedup(old_entry),
+                "new_speedup": new_entry and cell_speedup(new_entry),
                 "ratio": None,
                 "status": "only-old" if new_entry is None else "only-new",
             }
             continue
-        ratio = round(new_entry["speedup"]
-                      / max(old_entry["speedup"], 1e-9), 3)
+        old_speedup = cell_speedup(old_entry)
+        new_speedup = cell_speedup(new_entry)
+        ratio = round(new_speedup / max(old_speedup, 1e-9), 3)
         regressed = ratio < min_ratio
         rows[label] = {
-            "old_speedup": old_entry["speedup"],
-            "new_speedup": new_entry["speedup"],
+            "old_speedup": old_speedup,
+            "new_speedup": new_speedup,
             "ratio": ratio,
             "status": "regressed" if regressed else "ok",
         }
@@ -518,6 +659,26 @@ def compare_records(old: Dict[str, object], new: Dict[str, object],
         "schemes": rows,
         "regressions": regressions,
     }
+    if restrict_apps:
+        comparison["apps"] = {
+            "old": sorted(old_apps), "new": sorted(new_apps),
+            "compared": shared_apps,
+        }
+        # the recorded defended geomeans cover different app mixes too:
+        # recompute both over the shared (defended, app) cells
+        defended = [label for label, row in rows.items()
+                    if label != "unsafe" and row["ratio"] is not None]
+        if defended:
+            old_geo = round(geomean(rows[label]["old_speedup"]
+                                    for label in defended), 3)
+            new_geo = round(geomean(rows[label]["new_speedup"]
+                                    for label in defended), 3)
+            comparison["defended_geomean"] = {
+                "old": old_geo, "new": new_geo,
+                "ratio": round(new_geo / max(old_geo, 1e-9), 3),
+                "apps": shared_apps,
+            }
+        return comparison
     old_geo = old.get("hot_loop", {}).get("defended_geomean_speedup")
     new_geo = new.get("hot_loop", {}).get("defended_geomean_speedup")
     if old_geo and new_geo:

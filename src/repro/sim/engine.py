@@ -1,4 +1,4 @@
-"""Per-scheme specialized run loops over struct-of-arrays trace state.
+"""Per-scheme specialized run loops over struct-of-arrays core state.
 
 ``System.run`` delegates here when the configured defense belongs to one
 of the specialized families (unsafe / fence / DOM / STT — the 13-scheme
@@ -10,15 +10,23 @@ core's trace once (``repro.isa.compiled``) and closes a dedicated
   generic ``Core.tick`` re-reads through attribute/property chains each
   cycle is bound once as a closure constant, so the inner loop carries
   no per-cycle scheme dispatch;
+* the mutable core state the closures chase is struct-of-arrays too
+  (``repro.core.rob.ColumnState``): status/deps/VP state are ``array``
+  columns indexed by ``index & mask``, the ROB window and the LQ/SQ are
+  rings with O(1) head/tail arithmetic, and the ready/waiting work-lists
+  are plain index lists — native int sorts, flags-read skip tests, and
+  no entry-object dereference until a uop actually issues;
 * the per-uop object probes on the dispatch and quiet paths
   (``uop.is_load`` property calls, ``OpClass`` identity ladders) become
   single byte-array reads indexed by the cursor the core already keeps;
-* the ready/waiting-load scans compact their lists in place instead of
-  reallocating them every cycle;
+* store-to-load forwarding scans the SQ ring *backward* from the tail,
+  so the youngest matching store is the first hit, and the VP frontier
+  is a candidate-flag column scan over the LQ ring gated by a counter;
 * the pre-VP issue-mode test is inlined per defense family: fence
   (post-VP only), DOM (post-VP or L1 hit), STT (post-VP or untainted
   address), unsafe (always), instead of two virtual calls per load per
-  scan.
+  scan — with the STT root-liveness probe reduced to window-bounds
+  integer compares against the VP column.
 
 Behaviour is bit-exact against ``Core.tick`` / ``System.run_ticked`` and
 against the seed ``run_reference`` oracle: same event schedule (the tie
@@ -27,13 +35,26 @@ the calls the generic path would), same statistics, same retire
 signatures.  Parity is asserted per grid cell by ``repro bench`` and by
 ``tests/test_soa_parity.py``, chaos on and off.
 
-One refinement beyond the generic tick is the stalled-scan skip: when
-every waiting load was stalled by its scheme (``_waiting_stalled``) and
-nothing re-armed the core's ``_wake_pending`` flag, the scan is provably
-a no-op (the ``Core.quiet_until`` fixpoint contract — issue modes only
-flip via flagged mutations or events) and is skipped even while other
-stages stay busy.  The generic loop reaches the same conclusion only
-when the whole core is quiet.
+Two refinements beyond the generic tick:
+
+* the stalled-scan skip: when every waiting load was stalled by its
+  scheme (``_waiting_stalled``) and nothing re-armed the core's
+  ``_wake_pending`` flag, the scan is provably a no-op (the
+  ``Core.quiet_until`` fixpoint contract — issue modes only flip via
+  flagged mutations or events) and is skipped even while other stages
+  stay busy;
+* batched quiet-region stepping in the multi-core loop: each core
+  caches its last ``quiet_until`` bound, and a core whose bound still
+  covers this cycle is skipped entirely when no event fired and nothing
+  re-armed its wake flag — sound because every cross-core mutation
+  either arrives through the event queue (caught by the fired test) or
+  re-arms the flag synchronously (coherence hooks, CPT traffic, and
+  barrier releases via ``BarrierManager``).  Because all per-slot
+  timing state is stored as absolute cycles in the columns, skipped
+  regions need no per-slot catch-up: the clock advances in one
+  arithmetic step and every column value stays valid.  This composes
+  with the existing all-quiet jump (and with ``Executor`` lockstep
+  batching above it).
 
 The engine holds no simulated state of its own: everything lives in the
 ordinary object model, so checkpoints, diagnostics, and the reference
@@ -44,18 +65,20 @@ restore (``System.__getstate__`` drops them).
 from __future__ import annotations
 
 import gc
-import operator
 from functools import partial
-from heapq import heappush
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import DeadlockError
 from repro.common.params import DefenseKind, PinningMode, ThreatModel
 from repro.core.pipeline import L1_PORTS, QUIET_FOREVER, Core
-from repro.core.rob import ROBEntry
+from repro.core.rob import (FLAG_ADDR_READY, FLAG_COMPLETE, FLAG_FORWARDED,
+                            FLAG_INVISIBLE, FLAG_ISSUED, FLAG_MCV_SAFE,
+                            FLAG_OUTSTANDING, FLAG_PARKED, FLAG_PERFORMED,
+                            FLAG_VP_CAND, ROBEntry)
 from repro.isa.compiled import (OP_ATOMIC, OP_BARRIER, OP_BRANCH, OP_FENCE,
-                                OP_FP_ALU, OP_INT_ALU, OP_LOAD, OP_STORE,
-                                CompiledTrace, compile_trace)
+                                OP_LOAD, OP_STORE, CompiledTrace,
+                                compile_trace)
 
 #: Defense families with a specialized inner loop.  Anything else (e.g.
 #: invisible speculation, which is outside the paper's 13-scheme grid)
@@ -63,8 +86,6 @@ from repro.isa.compiled import (OP_ATOMIC, OP_BARRIER, OP_BRANCH, OP_FENCE,
 SPECIALIZED_DEFENSES = frozenset({
     DefenseKind.UNSAFE, DefenseKind.FENCE, DefenseKind.DOM, DefenseKind.STT,
 })
-
-_by_index = operator.attrgetter("index")
 
 #: Sentinel for "no live value" when a LazyMinSet min is hoisted into a
 #: plain integer compare (safely above any uop index).
@@ -83,7 +104,9 @@ _NO_MIN = 1 << 62
 def _make_issue_ready(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     """Specialized ready-uop issue: the ``_begin_execution`` opclass
     ladder collapses to one byte read, with the event callbacks and
-    latencies bound as closure constants."""
+    latencies bound as closure constants.  The ready list holds plain
+    indices (squash purges its dead suffix), so the sort is a native
+    int sort and the issued prefix is one slice delete."""
     cp = core.config.core
     width = cp.width
     int_lat = cp.int_latency
@@ -96,33 +119,28 @@ def _make_issue_ready(core: Core, compiled: CompiledTrace) -> Callable[[], None]
     on_branch = core._on_branch_resolved
     on_addr = core._on_addr_ready
     opcodes = compiled.opcodes
+    handles = core._handles
+    mask = core._slot_mask
+    flags = core._flags
 
     def issue_ready() -> None:  # repro: hot
         ready = core._ready
-        ready.sort(key=_by_index)
-        budget = width
+        ready.sort()
         now = events.now       # constant within one tick
-        w = 0
-        for entry in ready:
-            if entry.squashed:
-                continue
-            if budget == 0:
-                ready[w] = entry
-                w += 1
-                continue
-            budget -= 1
-            code = opcodes[entry.index]
+        take = width if width < len(ready) else len(ready)
+        for i in range(take):
+            index = ready[i]
+            slot = index & mask
+            entry = handles[slot]
+            code = opcodes[index]
             if code <= OP_BRANCH:
-                entry.issued = True
-                if code == OP_INT_ALU:
-                    when = now + int_lat
-                    callback = complete
-                elif code == OP_FP_ALU:
-                    when = now + fp_lat
-                    callback = complete
-                else:
+                flags[slot] |= FLAG_ISSUED
+                if code == OP_BRANCH:
                     when = now + branch_lat
                     callback = on_branch
+                else:
+                    when = now + (fp_lat if code else int_lat)
+                    callback = complete
             elif code == OP_FENCE or code == OP_BARRIER:
                 raise AssertionError(f"unexpected ready uop {entry}")
             else:
@@ -133,7 +151,7 @@ def _make_issue_ready(core: Core, compiled: CompiledTrace) -> Callable[[], None]
             seq = events._seq
             events._seq = seq + 1
             heappush(heap, (when, seq, callback, (entry,)))
-        del ready[w:]
+        del ready[:take]
 
     return issue_ready
 
@@ -144,11 +162,17 @@ def _make_issue_one(core: Core) -> Callable:
     ``1`` when the load went to memory, ``0`` when it was forwarded, so
     the caller can batch the two stat counters per scan.
 
+    The forwarding probe scans the SQ ring backward from the tail: the
+    first older same-line address-ready store is the youngest one.
+
     The memory callback stays a ``partial`` over the *core's* bound
     method — never an engine closure — so a checkpoint taken with the
     fill in flight still pickles (the engine is not checkpoint state).
     """
     sq = core.sq
+    sq_ring = sq._ring
+    sq_qmask = sq._qmask
+    flags = core._flags
     wb_lines = core.write_buffer._line_counts
     events = core.events
     heap = events._heap
@@ -158,62 +182,71 @@ def _make_issue_one(core: Core) -> Callable:
     core_id = core.core_id
 
     def issue_one(entry) -> int:  # repro: hot
-        entry.issued = True
+        slot = entry.slot
+        flags[slot] |= FLAG_ISSUED
         index = entry.index
         line = entry.line
-        # inlined StoreQueue.forwarding_store: youngest older same-line
-        # store with a known address (``_stores`` is reassigned on
-        # squashes, so it is read through the queue each call)
         forwarding = None
-        for store in sq._stores:
+        head = sq._head
+        for pos in range(sq._tail - 1, head - 1, -1):
+            store = sq_ring[pos & sq_qmask]
             if store.index >= index:
-                break
-            if store.addr_ready and store.line == line:
+                continue
+            if flags[store.slot] & FLAG_ADDR_READY and store.line == line:
                 forwarding = store
+                break
         if forwarding is None and line in wb_lines:
             forwarding = entry     # forwarded from the write buffer
         if forwarding is not None:
-            entry.forwarded = True
-            entry.performed = True
+            flags[slot] |= FLAG_FORWARDED | FLAG_PERFORMED
             seq = events._seq
             events._seq = seq + 1
             heappush(heap, (events.now + 1, seq, complete, (entry,)))
             return 0
-        entry.outstanding = True
-        mem_load(core_id, entry.line, partial(on_load_data, entry))
+        flags[slot] |= FLAG_OUTSTANDING
+        mem_load(core_id, line, partial(on_load_data, entry))
         return 1
 
     return issue_one
 
 
-def _make_issue_loads(core: Core) -> Callable[[], None]:
+def _make_issue_loads(core: Core,
+                      compiled: CompiledTrace) -> Callable[[], None]:
     """Specialized ``_issue_waiting_loads``: same sort / port budget /
     keep / ``_waiting_stalled`` contract as the generic stage, with the
     two-virtual-call pre-VP issue-mode test inlined per defense family,
     the issue path inlined (``_make_issue_one``), the per-load stat
-    bumps batched per scan, and the keep list compacted in place."""
+    bumps batched per scan, and the keep list compacted in place.  The
+    waiting list holds plain indices; squashed ones were purged, so the
+    only skip test left is one flags read (already issued for
+    pinning)."""
     defense = core.config.defense
     issue = _make_issue_one(core)
     stats = core.stats
+    handles = core._handles
+    mask = core._slot_mask
+    flags = core._flags
+    vp_col = core._vp_col
 
     if defense is DefenseKind.UNSAFE:
         def issue_loads() -> None:  # repro: hot
             wl = core._waiting_loads
-            wl.sort(key=_by_index)
+            wl.sort()
             budget = L1_PORTS
             stalled_only = True
             issued = missed = 0
             w = 0
-            for entry in wl:
-                if entry.squashed or entry.issued:
+            for index in wl:
+                slot = index & mask
+                if flags[slot] & FLAG_ISSUED:
                     continue
                 if budget:
                     budget -= 1
                     issued += 1
-                    missed += issue(entry)
+                    missed += issue(handles[slot])
                     continue
                 stalled_only = False
-                wl[w] = entry
+                wl[w] = index
                 w += 1
             del wl[w:]
             core._waiting_stalled = stalled_only
@@ -226,22 +259,23 @@ def _make_issue_loads(core: Core) -> Callable[[], None]:
     elif defense is DefenseKind.FENCE:
         def issue_loads() -> None:  # repro: hot
             wl = core._waiting_loads
-            wl.sort(key=_by_index)
+            wl.sort()
             budget = L1_PORTS
             stalled_only = True
             issued = missed = 0
             w = 0
-            for entry in wl:
-                if entry.squashed or entry.issued:
+            for index in wl:
+                slot = index & mask
+                if flags[slot] & FLAG_ISSUED:
                     continue
-                if entry.vp_cycle is not None:
+                if vp_col[slot] >= 0:
                     if budget:
                         budget -= 1
                         issued += 1
-                        missed += issue(entry)
+                        missed += issue(handles[slot])
                         continue
                     stalled_only = False
-                wl[w] = entry
+                wl[w] = index
                 w += 1
             del wl[w:]
             core._waiting_stalled = stalled_only
@@ -262,24 +296,25 @@ def _make_issue_loads(core: Core) -> Callable[[], None]:
 
         def issue_loads() -> None:  # repro: hot
             wl = core._waiting_loads
-            wl.sort(key=_by_index)
+            wl.sort()
             budget = L1_PORTS
             stalled_only = True
             issued = missed = 0
             w = 0
-            for entry in wl:
-                if entry.squashed or entry.issued:
+            for index in wl:
+                slot = index & mask
+                if flags[slot] & FLAG_ISSUED:
                     continue
+                entry = handles[slot]
                 line = entry.line
-                if entry.vp_cycle is not None \
-                        or line in l1_lines[line & l1_mask]:
+                if vp_col[slot] >= 0 or line in l1_lines[line & l1_mask]:
                     if budget:
                         budget -= 1
                         issued += 1
                         missed += issue(entry)
                         continue
                     stalled_only = False
-                wl[w] = entry
+                wl[w] = index
                 w += 1
             del wl[w:]
             core._waiting_stalled = stalled_only
@@ -290,32 +325,39 @@ def _make_issue_loads(core: Core) -> Callable[[], None]:
                     stats.bump("loads_forwarded", issued - missed)
 
     elif defense is DefenseKind.STT:
-        roots_map = core.taint._output_roots
-        find = core.rob._by_index.get
+        roots_get = core.taint._output_roots.get
+        rob = core.rob
+        deps_list = [u.deps for u in compiled.uops]
 
         def issue_loads() -> None:  # repro: hot
             wl = core._waiting_loads
-            wl.sort(key=_by_index)
+            wl.sort()
             budget = L1_PORTS
             stalled_only = True
             issued = missed = 0
             w = 0
-            for entry in wl:
-                if entry.squashed or entry.issued:
+            # the ROB window is frozen during the scan (no retire or
+            # dispatch can interleave), so the root-liveness bounds are
+            # scan constants
+            head = rob._head
+            nxt = rob._next
+            for index in wl:
+                slot = index & mask
+                if flags[slot] & FLAG_ISSUED:
                     continue
-                if entry.vp_cycle is not None:
+                entry = handles[slot]
+                if vp_col[slot] >= 0:
                     eligible = True
                 else:
                     # inlined TaintTracker.addr_tainted: is the address
                     # rooted at a live pre-VP speculative load?
                     eligible = True
-                    for dep in entry.uop.deps:
-                        roots = roots_map.get(dep)
+                    for dep in deps_list[index]:
+                        roots = roots_get(dep)
                         if roots:
                             for root in roots:
-                                producer = find(root)
-                                if producer is not None \
-                                        and producer.vp_cycle is None:
+                                if head <= root < nxt \
+                                        and vp_col[root & mask] < 0:
                                     eligible = False
                                     break
                             if not eligible:
@@ -327,7 +369,7 @@ def _make_issue_loads(core: Core) -> Callable[[], None]:
                         missed += issue(entry)
                         continue
                     stalled_only = False
-                wl[w] = entry
+                wl[w] = index
                 w += 1
             del wl[w:]
             core._waiting_stalled = stalled_only
@@ -345,8 +387,8 @@ def _make_issue_loads(core: Core) -> Callable[[], None]:
 
 def _make_update_vps(core: Core) -> Callable[[], None]:
     """Specialized VP walk: threat-model levels and the pinning-mode
-    branch become closure constants; the frontier's generator is
-    inlined to one sorted pass over its index map."""
+    branch become closure constants, and the candidate walk is a flags
+    scan over the LQ ring gated by the core's candidate counter."""
     level = core.config.threat_model.level
     chk_alias = level >= ThreatModel.ALIAS.level
     chk_except = level >= ThreatModel.EXCEPT.level
@@ -354,50 +396,91 @@ def _make_update_vps(core: Core) -> Callable[[], None]:
     pinned_mode = core._pinning
     aggressive = core.config.pinning.aggressive_tso
     vp = core.vp_state
-    frontier = core._vp_frontier._entries
-    ub_min = vp.unresolved_branches.min
-    uas_min = vp.unknown_addr_stores.min
-    uam_min = vp.unknown_addr_memops.min
-    url_min = vp.unretired_loads.min
+    ub_heap = vp.unresolved_branches._heap
+    ub_live = vp.unresolved_branches._live
+    uas_heap = vp.unknown_addr_stores._heap
+    uas_live = vp.unknown_addr_stores._live
+    uam_heap = vp.unknown_addr_memops._heap
+    uam_live = vp.unknown_addr_memops._live
+    url_heap = vp.unretired_loads._heap
+    url_live = vp.unretired_loads._live
     is_head = core.rob.is_head
     note = core.note_vp_reached
+    lq = core.lq
+    lq_ring = lq._ring
+    lq_qmask = lq._qmask
+    flags = core._flags
+    vp_col = core._vp_col
+    counters = core.stats._counters
+    # Marked-prefix skip: a load whose VP is set (``vp >= 0``) can never
+    # become a candidate again in this incarnation (``_on_addr_ready``
+    # only flags ``vp < 0`` loads), so the walk resumes past the
+    # contiguous marked prefix it established last time.  The cache goes
+    # stale only when a squash recycles ring positions behind it — every
+    # squash path funnels through ``_squash_from``, which bumps the
+    # ``squashed_uops`` counter, so a counter snapshot is the epoch.
+    scan_state = [0, 0.0]   # [resume position, squash epoch]
 
     def update_vps() -> None:  # repro: hot
-        if not frontier:
+        if not core._vp_candidates:
             return
         # The VP condition sets only shrink at retire / resolve events,
-        # never during this walk (marking a load discards it from the
-        # *frontier*; its ``on_load_vp`` hook is a no-op for the
-        # specialized schemes), so each set's min is read once.  The
-        # index-bound break conditions are monotone and side-effect
-        # free, so "break on the first failing bound" equals "break
-        # when the index passes the smallest applicable bound".
-        bound = ub_min()
-        if bound is None:
-            bound = _NO_MIN
+        # never during this walk (marking a load clears its candidate
+        # flag; its ``on_load_vp`` hook is a no-op for the specialized
+        # schemes), so each set's min is read once.  The index-bound
+        # break conditions are monotone and side-effect free, so "break
+        # on the first failing bound" equals "break when the index
+        # passes the smallest applicable bound" — and the break may fire
+        # on non-candidates too, since any later candidate has a larger
+        # index.
+        while ub_heap and ub_heap[0] not in ub_live:
+            heappop(ub_heap)
+        bound = ub_heap[0] if ub_heap else _NO_MIN
         if chk_alias:
-            m = uas_min()
-            if m is not None and m < bound:
-                bound = m
+            while uas_heap and uas_heap[0] not in uas_live:
+                heappop(uas_heap)
+            if uas_heap and uas_heap[0] < bound:
+                bound = uas_heap[0]
         if chk_except:
-            m = uam_min()
-            if m is not None and m < bound:
-                bound = m
+            while uam_heap and uam_heap[0] not in uam_live:
+                heappop(uam_heap)
+            if uam_heap and uam_heap[0] < bound:
+                bound = uam_heap[0]
         if chk_mcv and aggressive and not pinned_mode:
-            url_bound = url_min()
-            if url_bound is None:
-                url_bound = _NO_MIN
+            while url_heap and url_heap[0] not in url_live:
+                heappop(url_heap)
+            url_bound = url_heap[0] if url_heap else _NO_MIN
         else:
             url_bound = _NO_MIN
-        for index in sorted(frontier):
-            load = frontier.get(index)
-            if load is None:
-                continue    # marked (or squashed) earlier in this walk
+        head = lq._head
+        epoch = counters.get("squashed_uops", 0.0)
+        if epoch != scan_state[1]:
+            scan_state[1] = epoch
+            start = head
+        else:
+            start = scan_state[0]
+            if start < head:
+                start = head
+        advancing = True
+        for pos in range(start, lq._tail):
+            load = lq_ring[pos & lq_qmask]
+            slot = load.slot
+            if vp_col[slot] >= 0:
+                # marked: never a candidate again this incarnation;
+                # extend the skip prefix while it stays contiguous
+                if advancing:
+                    scan_state[0] = pos + 1
+                continue
+            index = load.index
             if bound < index:
                 break
+            f = flags[slot]
+            if not f & FLAG_VP_CAND:
+                advancing = False
+                continue
             if chk_mcv:
                 if pinned_mode:
-                    if not load.mcv_safe:
+                    if not f & FLAG_MCV_SAFE:
                         break
                 elif aggressive:
                     if url_bound < index:
@@ -405,17 +488,24 @@ def _make_update_vps(core: Core) -> Callable[[], None]:
                 elif not is_head(load):
                     break
             note(load)
+            if advancing:
+                scan_state[0] = pos + 1
 
     return update_vps
 
 
 def _make_retire(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     """Specialized retire: the head-retirability ladder collapses to a
-    byte compare for the common classes (ALU/branch/plain load/store);
-    the rarer serializing classes keep the generic check."""
+    byte compare plus one flags read for the common classes (ALU /
+    branch / plain load / store); the rarer serializing classes keep the
+    generic check.  Head pops on the ROB and the LQ/SQ rings are one
+    list store and one integer increment each."""
     width = core.config.core.width
-    entries = core._rob_entries
-    by_index = core.rob._by_index
+    rob = core.rob
+    handles = core._handles
+    mask = core._slot_mask
+    flags = core._flags
+    vp_col = core._vp_col
     opcodes = compiled.opcodes
     wb = core.write_buffer
     wb_entries = wb._entries
@@ -425,7 +515,11 @@ def _make_retire(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     may_retire = core._head_may_retire
     note = core.note_vp_reached
     lq = core.lq
+    lq_ring = lq._ring
+    lq_qmask = lq._qmask
     sq = core.sq
+    sq_ring = sq._ring
+    sq_qmask = sq._qmask
     vp = core.vp_state
     url_discard = vp.unretired_loads.discard
     ser_discard = vp.serializing.discard
@@ -437,56 +531,64 @@ def _make_retire(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     def retire_stage() -> None:  # repro: hot
         retired = 0
         sig = core.retire_sig
-        while retired < width and entries:
-            head = entries[0]
-            index = head.index
-            code = opcodes[index]
+        ru = core._retired_upto
+        cursor = core._cursor
+        while retired < width and ru < cursor:
+            slot = ru & mask
+            head = handles[slot]
+            code = opcodes[ru]
+            f = flags[slot]
             if code <= OP_BRANCH:
-                if not head.complete:
+                if not f & FLAG_COMPLETE:
                     break
             elif code == OP_LOAD:
-                if head.invisible:
+                if f & FLAG_INVISIBLE:
                     if not may_retire(head):
                         break
-                elif not head.complete:
+                elif not f & FLAG_COMPLETE:
                     break
             elif code == OP_STORE:
-                if not head.complete or wb.backpressure \
+                if not f & FLAG_COMPLETE or wb.backpressure \
                         or len(wb_entries) >= wb_capacity:
                     break
             elif not may_retire(head):  # FENCE / ATOMIC / BARRIER
                 break
             # --- inlined Core._retire ---
             if code == OP_LOAD:
-                if head.vp_cycle is None:
+                if vp_col[slot] < 0:
                     note(head)
-                loads = lq._loads
-                if not loads or loads[0] is not head:
+                lq_slot = lq._head & lq_qmask
+                if lq_ring[lq_slot] is not head:
                     raise ValueError(
                         "retiring a load that is not the LQ head")
-                loads.pop(0)
-                url_discard(index)
+                lq_ring[lq_slot] = None
+                lq._head += 1
+                url_discard(ru)
                 if pinning:
                     # no-op when pinning is off: lq_id and the pinned
                     # bit are only ever set by the controller
                     on_load_retire(head)
             elif code == OP_STORE:
-                stores = sq._stores
-                if not stores or stores[0] is not head:
+                sq_slot = sq._head & sq_qmask
+                if sq_ring[sq_slot] is not head:
                     raise ValueError(
                         "retiring a store that is not the SQ head")
-                stores.pop(0)
+                sq_ring[sq_slot] = None
+                sq._head += 1
                 wb_push(head.line)
                 kick_wb()
             elif code >= OP_FENCE:  # FENCE / ATOMIC / BARRIER
-                ser_discard(index)
-            entries.popleft()
-            del by_index[index]
-            core._retired_upto = index + 1
-            sig = ((sig ^ (index + 1))
-                   * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+                ser_discard(ru)
+            handles[slot] = None
+            ru += 1
+            sig = ((sig ^ ru) * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
             retired += 1
         if retired:
+            # nothing inside the loop reads the head pointers (checked:
+            # note_vp_reached, the controller release path, the write
+            # buffer), so the window advance is batched per stage
+            rob._head = ru
+            core._retired_upto = ru
             core.retire_sig = sig
             core._wake_pending = True
             core.retired_count += retired
@@ -499,23 +601,47 @@ def _make_retire(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
 def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     """Fully inlined ``Core._dispatch_stage`` + ``Core._dispatch``: the
     trace probes are flat byte reads, the dependency walk runs on the
-    CSR arrays, and ``_value_available`` / ``rob.push`` collapse to one
-    dict probe / one append each.  The resulting entry state, waiter
-    registrations and VP-set updates are identical to the generic
-    path's (same objects, same order)."""
+    CSR arrays, and ``_value_available`` / ``rob.push`` / the LQ/SQ
+    allocations collapse to integer compares, one flags read, and ring
+    stores.  The resulting column state, waiter registrations and
+    VP-set updates are identical to the generic path's (same objects,
+    same order)."""
     width = core.config.core.width
     trace_len = compiled.length
     opcodes = compiled.opcodes
     uops = compiled.uops
-    entries = core._rob_entries
-    by_index = core.rob._by_index
+    # cache-line objects boxed once per engine build: every dispatch of
+    # the same uop then stores the same int (or None) instead of
+    # re-deriving it from ``uop.addr`` inside the ROBEntry constructor
+    raw_lines = compiled.lines
+    line_objs = [None if raw_lines[i] < 0 else raw_lines[i]
+                 for i in range(trace_len)]
+    # dep tuples boxed once: saves two attribute loads per dispatch, and
+    # the empty-tuple common case (ALU results with no data operands)
+    # skips iterator setup entirely
+    deps_list = [u.deps for u in uops]
+    data_deps_list = [u.data_deps for u in uops]
+    new_entry = ROBEntry.__new__
+    rob = core.rob
+    cols = core._cols
+    handles = core._handles
+    mask = core._slot_mask
+    flags = core._flags
+    vp_col = core._vp_col
+    pending_col = cols.pending
+    pending_data_col = cols.pending_data
+    lq_id_col = cols.lq_id
+    complete_col = cols.complete_cycle
+    dispatch_col = cols.dispatch_cycle
     rob_capacity = core._rob_capacity
     lq = core.lq
     lq_capacity = lq.capacity
-    lq_allocate = lq.allocate
+    lq_ring = lq._ring
+    lq_qmask = lq._qmask
     sq = core.sq
     sq_capacity = sq.capacity
-    sq_allocate = sq.allocate
+    sq_ring = sq._ring
+    sq_qmask = sq._qmask
     waiters = core._waiters
     data_waiters = core._data_waiters
     vp = core.vp_state
@@ -540,6 +666,11 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     taint_roots = None if taint is None else taint._output_roots
     live_subset = None if taint is None else taint._live_subset
     empty_roots = frozenset()
+    # singleton root sets boxed once per engine build: every (re)dispatch
+    # of load ``i`` installs the same frozenset({i}) instead of
+    # allocating a fresh one (frozensets are immutable, sharing is safe)
+    root_sets = None if taint is None else \
+        [frozenset((i,)) for i in range(trace_len)]
     stats = core.stats
 
     def dispatch_stage() -> None:  # repro: hot
@@ -547,24 +678,41 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
         cursor = core._cursor
         cycle = core.cycle
         retired_upto = core._retired_upto
+        ready = core._ready
         while dispatched < width and cursor < trace_len \
-                and len(entries) < rob_capacity:
+                and cursor - retired_upto < rob_capacity:
             code = opcodes[cursor]
             if code == OP_LOAD:
-                if len(lq._loads) >= lq_capacity:
+                if lq._tail - lq._head >= lq_capacity:
                     break
             elif code == OP_STORE:
-                if len(sq._stores) >= sq_capacity:
+                if sq._tail - sq._head >= sq_capacity:
                     break
             # --- inlined Core._dispatch ---
+            # the ROBEntry constructor (attribute stores + ColumnState
+            # reset) unrolled over the hoisted columns
             uop = uops[cursor]
-            entry = ROBEntry(uop, 0, cycle)
+            slot = cursor & mask
+            entry = new_entry(ROBEntry)
+            entry.uop = uop
+            entry.index = cursor
+            entry.line = line_objs[cursor]
+            entry.squashed = False
+            entry.cols = cols
+            entry.slot = slot
+            flags[slot] = 0
+            pending_col[slot] = 0
+            pending_data_col[slot] = 0
+            vp_col[slot] = -1
+            lq_id_col[slot] = -1
+            complete_col[slot] = -1
+            dispatch_col[slot] = cycle
             pending = 0
-            deps = uop.deps
-            for dep in deps:
-                if dep >= retired_upto:
-                    producer = by_index.get(dep)
-                    if producer is None or not producer.complete:
+            deps = deps_list[cursor]
+            if deps:
+                for dep in deps:
+                    if dep >= retired_upto \
+                            and not flags[dep & mask] & FLAG_COMPLETE:
                         dep_waiters = waiters.get(dep)
                         if dep_waiters is None:
                             # first waiter: the reference path allocates
@@ -573,51 +721,55 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
                         else:
                             dep_waiters.append(entry)
                         pending += 1
-            entry.pending_deps = pending
-            for dep in uop.data_deps:
-                if dep >= retired_upto:
-                    producer = by_index.get(dep)
-                    if producer is None or not producer.complete:
+                if pending:
+                    pending_col[slot] = pending
+            data_deps = data_deps_list[cursor]
+            if data_deps:
+                for dep in data_deps:
+                    if dep >= retired_upto \
+                            and not flags[dep & mask] & FLAG_COMPLETE:
                         dep_waiters = data_waiters.get(dep)
                         if dep_waiters is None:
                             data_waiters[dep] = [entry]  # repro: allow-hot-path-allocation
                         else:
                             dep_waiters.append(entry)
-                        entry.pending_data_deps += 1
-            entries.append(entry)
-            by_index[cursor] = entry
+                        pending_data_col[slot] += 1
+            handles[slot] = entry
+            # per-uop window advance (not batched): the inlined taint
+            # probes below and ``_live_subset`` read the live bounds
+            rob._next = cursor + 1
+            # LazyMinSet.add without the membership probe: a dispatching
+            # cursor is never live — retire and ``_cleanup_squashed``
+            # both discard it before the slot can host a fresh
+            # incarnation (verified above; stale heap copies are handled
+            # by the lazy-deletion cleanups either way)
             if code == OP_LOAD:
-                lq_allocate(entry)
-                if cursor not in url_live:
-                    url_live.add(cursor)
-                    heappush(url_heap, cursor)
-                if cursor not in uam_live:
-                    uam_live.add(cursor)
-                    heappush(uam_heap, cursor)
+                lq_ring[lq._tail & lq_qmask] = entry
+                lq._tail += 1
+                url_live.add(cursor)
+                heappush(url_heap, cursor)
+                uam_live.add(cursor)
+                heappush(uam_heap, cursor)
                 if pinning:
                     on_load_dispatch(entry)
                 if taint_roots is not None:
-                    taint_roots[cursor] = frozenset((cursor,))
+                    taint_roots[cursor] = root_sets[cursor]
             else:
                 if code == OP_STORE:
-                    sq_allocate(entry)
-                    if cursor not in uas_live:
-                        uas_live.add(cursor)
-                        heappush(uas_heap, cursor)
-                    if cursor not in uam_live:
-                        uam_live.add(cursor)
-                        heappush(uam_heap, cursor)
+                    sq_ring[sq._tail & sq_qmask] = entry
+                    sq._tail += 1
+                    uas_live.add(cursor)
+                    heappush(uas_heap, cursor)
+                    uam_live.add(cursor)
+                    heappush(uam_heap, cursor)
                 elif code == OP_BRANCH:
-                    if cursor not in ubr_live:
-                        ubr_live.add(cursor)
-                        heappush(ubr_heap, cursor)
+                    ubr_live.add(cursor)
+                    heappush(ubr_heap, cursor)
                 elif code == OP_ATOMIC:
-                    if cursor not in uas_live:
-                        uas_live.add(cursor)
-                        heappush(uas_heap, cursor)
-                    if cursor not in uam_live:
-                        uam_live.add(cursor)
-                        heappush(uam_heap, cursor)
+                    uas_live.add(cursor)
+                    heappush(uas_heap, cursor)
+                    uam_live.add(cursor)
+                    heappush(uam_heap, cursor)
                     ser_add(cursor)
                 elif code == OP_FENCE or code == OP_BARRIER:
                     ser_add(cursor)
@@ -627,9 +779,8 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
                         dep_roots = taint_roots.get(dep)
                         if dep_roots:
                             for root in dep_roots:
-                                producer = by_index.get(root)
-                                if producer is None \
-                                        or producer.vp_cycle is not None:
+                                if root < retired_upto \
+                                        or vp_col[root & mask] >= 0:
                                     dep_roots = live_subset(dep_roots)
                                     break
                             if dep_roots:
@@ -637,7 +788,7 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
                                          else roots | dep_roots)
                     taint_roots[cursor] = roots
             if pending == 0 and code != OP_FENCE and code != OP_BARRIER:
-                core._ready.append(entry)
+                ready.append(cursor)
             cursor += 1
             dispatched += 1
         if dispatched:
@@ -648,16 +799,146 @@ def _make_dispatch(core: Core, compiled: CompiledTrace) -> Callable[[], None]:
     return dispatch_stage
 
 
+def _make_controller_tick(core: Core) -> Callable[[], None]:
+    """Specialized pin chain for the lp/ep cells.  The generic
+    ``PinnedLoadsController.tick`` already hoists the set mins per chain
+    run; here the five ``LazyMinSet.min`` calls inline to heap cleanups,
+    and the chain prefix every blocked tick re-walks — already-safe
+    loads, the address/branch-bound block, the serializing block, the
+    oldest-load exemption — runs on flags reads and integer compares
+    before falling back to ``_try_make_safe`` for the resource checks
+    (CPT / write buffer / CST / LP issue).  Same marks, same denial
+    episodes, same order; the drain path delegates to the generic tick.
+    """
+    ctl = core.controller
+    generic_tick = ctl.tick
+    deny = ctl._deny
+    aggressive = ctl.params.aggressive_tso
+    early = ctl.mode is PinningMode.EARLY
+    early_pin = ctl._early_pin
+    issue_for_pin = core.issue_load_for_pinning
+    cpt = ctl.cpt
+    cpt_lines = cpt._lines
+    note = core.note_vp_reached
+    stats = ctl.stats
+    write_buffer = core.write_buffer
+    wb_entries = write_buffer._entries
+    wb_capacity = write_buffer.capacity
+    sq = core.sq
+    sq_ring = sq._ring
+    sq_qmask = sq._qmask
+    lq = core.lq
+    lq_ring = lq._ring
+    lq_qmask = lq._qmask
+    flags = core._flags
+    vp = core.vp_state
+    ub_heap = vp.unresolved_branches._heap
+    ub_live = vp.unresolved_branches._live
+    uas_heap = vp.unknown_addr_stores._heap
+    uas_live = vp.unknown_addr_stores._live
+    uam_heap = vp.unknown_addr_memops._heap
+    uam_live = vp.unknown_addr_memops._live
+    ser_heap = vp.serializing._heap
+    ser_live = vp.serializing._live
+    url_heap = vp.unretired_loads._heap
+    url_live = vp.unretired_loads._live
+
+    def controller_tick() -> None:  # repro: hot
+        if ctl._draining:
+            generic_tick()      # rare: LQ-ID wraparound drain + restart
+            return
+        head = lq._head
+        tail = lq._tail
+        if tail == head:
+            return
+        # inlined LazyMinSet.min x5 (lazy-deletion cleanup in place)
+        while ub_heap and ub_heap[0] not in ub_live:
+            heappop(ub_heap)
+        bound = ub_heap[0] if ub_heap else _NO_MIN
+        while uas_heap and uas_heap[0] not in uas_live:
+            heappop(uas_heap)
+        if uas_heap and uas_heap[0] < bound:
+            bound = uas_heap[0]
+        while uam_heap and uam_heap[0] not in uam_live:
+            heappop(uam_heap)
+        if uam_heap and uam_heap[0] < bound:
+            bound = uam_heap[0]
+        while ser_heap and ser_heap[0] not in ser_live:
+            heappop(ser_heap)
+        ser_bound = ser_heap[0] if ser_heap else _NO_MIN
+        while url_heap and url_heap[0] not in url_live:
+            heappop(url_heap)
+        url_bound = url_heap[0] if url_heap else _NO_MIN
+        for pos in range(head, tail):
+            load = lq_ring[pos & lq_qmask]
+            slot = load.slot
+            f = flags[slot]
+            if f & FLAG_MCV_SAFE:
+                continue
+            # --- inlined _try_make_safe fast paths (same order) ---
+            if f & FLAG_FORWARDED and f & FLAG_PERFORMED:
+                flags[slot] |= FLAG_MCV_SAFE
+                note(load)
+                continue
+            index = load.index
+            if not f & FLAG_ADDR_READY or bound < index:
+                break
+            if ser_bound < index:
+                deny(load, "pin_denied_serializing")
+                break
+            if aggressive and url_bound >= index:
+                flags[slot] |= FLAG_MCV_SAFE
+                stats.bump("oldest_exemptions")
+                note(load)
+                continue
+            # --- inlined resource checks (same order, same episodes) ---
+            if cpt._overflowed:
+                deny(load, "pin_denied_cpt_blocked")
+                break
+            if load.line in cpt_lines:
+                deny(load, "pin_denied_cpt")
+                break
+            # §5.1.2 write-buffer bound: the SQ is program-ordered, so
+            # the older-store count stops at the first younger store
+            older_sq_stores = 0
+            for spos in range(sq._head, sq._tail):
+                if sq_ring[spos & sq_qmask].index >= index:
+                    break
+                older_sq_stores += 1
+            if older_sq_stores + len(wb_entries) > wb_capacity:
+                deny(load, "pin_denied_wb")
+                break
+            if early:
+                if early_pin(load):
+                    continue
+                break
+            # --- inlined _late_pin (addr_ready already established) ---
+            if f & FLAG_PERFORMED:
+                # resolved at call time: the invariant sanitizer shadows
+                # ``_pin`` on the controller instance
+                ctl._pin(load)
+                continue
+            if f & (FLAG_PARKED | FLAG_OUTSTANDING | FLAG_ISSUED):
+                break
+            issue_for_pin(load)
+            break
+
+    return controller_tick
+
+
 def _make_quiet(core: Core, compiled: CompiledTrace) -> Callable[[int], int]:
     """Specialized ``Core.quiet_until``: same conditions, same order,
-    with the trace/head probes on flat arrays."""
+    with the trace/head probes on flat arrays and the occupancy tests
+    on window arithmetic."""
     wake_matters = core._vp_active or core._pinning
     opcodes = compiled.opcodes
     barrier_ids = compiled.barrier_ids
     is_load = compiled.is_load
     is_store = compiled.is_store
     trace_len = compiled.length
-    entries = core._rob_entries
+    handles = core._handles
+    mask = core._slot_mask
+    flags = core._flags
     rob_capacity = core._rob_capacity
     lq = core.lq
     lq_capacity = lq.capacity
@@ -674,25 +955,26 @@ def _make_quiet(core: Core, compiled: CompiledTrace) -> Callable[[int], int]:
             return 0
         if core._wb_entries and not core._wb_draining:
             return 0
-        if entries:
-            head = entries[0]
-            code = opcodes[head.index]
+        cursor = core._cursor
+        ru = core._retired_upto
+        if cursor > ru:
+            code = opcodes[ru]
             if code == OP_ATOMIC:
                 return 0
             elif code == OP_BARRIER:
-                if not head.barrier_notified \
-                        or released(barrier_ids[head.index]):
+                if not handles[ru & mask].barrier_notified \
+                        or released(barrier_ids[ru]):
                     return 0
             elif code == OP_FENCE:
                 if not core._wb_entries:
                     return 0
-            elif head.complete:
+            elif flags[ru & mask] & FLAG_COMPLETE:
                 return 0
-        cursor = core._cursor
-        if cursor < trace_len and len(entries) < rob_capacity:
-            if not ((is_load[cursor] and len(lq._loads) >= lq_capacity)
+        if cursor < trace_len and cursor - ru < rob_capacity:
+            if not ((is_load[cursor]
+                     and lq._tail - lq._head >= lq_capacity)
                     or (is_store[cursor]
-                        and len(sq._stores) >= sq_capacity)):
+                        and sq._tail - sq._head >= sq_capacity)):
                 resume = core._fetch_resume
                 if resume <= cycle + 1:
                     return 0
@@ -719,15 +1001,14 @@ def _specialize_core(core: Core, compiled: CompiledTrace,
     # scans whenever loads wait — exactly like the generic tick.
     scan_always = core.config.defense is DefenseKind.DOM
     trace_len = compiled.length
-    entries = core._rob_entries
     stats = core.stats
-    controller_tick = core.controller.tick
+    controller_tick = _make_controller_tick(core) if pinning else None
     lp_retry = core._lp_retry_parked
     kick_wb = core._kick_write_buffer
     retire_stage = _make_retire(core, compiled)
     update_vps = _make_update_vps(core) if vp_active else None
     issue_ready = _make_issue_ready(core, compiled)
-    issue_loads = _make_issue_loads(core)
+    issue_loads = _make_issue_loads(core, compiled)
     dispatch_stage = _make_dispatch(core, compiled)
     quiet_until = _make_quiet(core, compiled)
 
@@ -741,7 +1022,7 @@ def _specialize_core(core: Core, compiled: CompiledTrace,
         if woke:
             core._wake_pending = False
         core.cycle = cycle
-        if entries:
+        if core._cursor > core._retired_upto:
             retire_stage()
         if vp_active:
             update_vps()
@@ -758,7 +1039,7 @@ def _specialize_core(core: Core, compiled: CompiledTrace,
             dispatch_stage()
         if core._wb_entries and not core._wb_draining:
             kick_wb()
-        if not entries and not core._wb_entries \
+        if core._cursor == core._retired_upto and not core._wb_entries \
                 and core._cursor >= trace_len:
             core.done_cycle = cycle
             stats.set("done_cycle", cycle)
@@ -787,7 +1068,7 @@ class SpecializedEngine:
 
     def run(self, max_cycles: int = 50_000_000,
             stop_cycle: Optional[int] = None) -> int:
-        # The run loop allocates in a steady state (ROB entries, event
+        # The run loop allocates in a steady state (entry handles, event
         # tuples) with no reference cycles on the hot path; pausing the
         # generational collector for the duration avoids periodic full
         # scans of the long-lived simulator graph.
@@ -859,6 +1140,18 @@ class SpecializedEngine:
 
     def _run_multi(self, max_cycles: int,
                    stop_cycle: Optional[int]) -> int:
+        """Multi-core loop with batched quiet-region stepping: each live
+        core caches its last ``quiet_until`` bound, and its tick is
+        skipped while the bound covers the cycle, no event fired, and
+        nothing re-armed its wake flag.  Soundness: a cached bound means
+        "ticks are no-ops absent an intervening mutation", and every
+        mutation a skipped core can receive arrives either through the
+        event queue (``fired``) or through a flag-setting hook —
+        coherence callbacks, CPT traffic, and barrier releases
+        (``BarrierManager`` wakes all cores on release).  On top of the
+        per-core skip, the existing all-quiet jump advances the clock in
+        one arithmetic step, which the absolute-cycle columns make
+        state-touch-free."""
         system = self.system
         events = system.events
         heap = events._heap
@@ -868,21 +1161,28 @@ class SpecializedEngine:
         cycle = system.cycles
         last_progress_cycle = cycle
         last_retired = -1
-        live = [(core, tick, quiet) for core, tick, quiet
+        # mutable per-core records: [core, tick, quiet, cached_bound]
+        live = [[core, tick, quiet, 0] for core, tick, quiet
                 in zip(self._cores, self._ticks, self._quiets)
                 if core.done_cycle is None]
         while live:
             if stop_cycle is not None and cycle >= stop_cycle:
                 break
             cycle += 1
-            if heap and heap[0][0] <= cycle:
+            fired = bool(heap) and heap[0][0] <= cycle
+            if fired:
                 run_until(cycle)
             else:
                 events.now = cycle
             finished = False
             for item in live:
+                core = item[0]
+                if not fired and item[3] > cycle \
+                        and not core._wake_pending:
+                    continue    # provably a no-op tick: skip it
+                item[3] = 0
                 item[1](cycle)
-                if item[0].done_cycle is not None:
+                if core.done_cycle is not None:
                     finished = True
             if finished:
                 live = [item for item in live
@@ -903,9 +1203,7 @@ class SpecializedEngine:
             bound = QUIET_FOREVER
             for item in live:
                 core_bound = item[2](cycle)
-                if core_bound <= cycle + 1:
-                    bound = 0
-                    break
+                item[3] = core_bound
                 if core_bound < bound:
                     bound = core_bound
             if bound > cycle + 1:

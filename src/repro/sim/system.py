@@ -21,14 +21,23 @@ class BarrierManager:
     set is dropped immediately — only the (tiny) set of released ids is
     retained for the rest of the run, so memory stays bounded by the
     number of *distinct* barriers, not by arrivals.
+
+    A release re-arms every core's ``_wake_pending`` flag: the release
+    happens synchronously inside the *last* arriving core's retire stage
+    (not through the event queue), so it is exactly the kind of
+    cross-core mutation the quiet/wakeup contract requires to be
+    flagged.  The specialized multi-core loop relies on this to skip
+    ticks of cores parked on a notified barrier (``repro.sim.engine``);
+    for the generic loops the extra wake is a conservative no-op.
     """
 
-    __slots__ = ("num_cores", "_arrived", "_released")
+    __slots__ = ("num_cores", "_arrived", "_released", "_cores")
 
     def __init__(self, num_cores: int) -> None:
         self.num_cores = num_cores
         self._arrived: Dict[int, Set[int]] = {}
         self._released: Set[int] = set()
+        self._cores: List[Core] = []   # backref, set by System.__init__
 
     def arrive(self, barrier_id: int, core_id: int) -> None:
         if barrier_id in self._released:
@@ -38,6 +47,8 @@ class BarrierManager:
         if len(arrived) >= self.num_cores:
             self._released.add(barrier_id)
             del self._arrived[barrier_id]
+            for core in self._cores:
+                core._wake_pending = True
 
     def released(self, barrier_id: int) -> bool:
         return barrier_id in self._released
@@ -62,6 +73,7 @@ class System:
             Core(core_id, config, trace, self.mem, self.events,
                  self.barriers, progress=self.progress)
             for core_id, trace in enumerate(workload.traces)]
+        self.barriers._cores = self.cores
         self.cycles = 0
         self.sanitizer: Optional["Sanitizer"] = None
         if config.sanitize:

@@ -30,6 +30,11 @@ type-hint defect family that seeded this PR:
   closures).  Each such construct allocates per call on a path that
   runs every simulated cycle; hoist it into the closure maker, or waive
   a deliberate allocation with ``# repro: allow-hot-path-allocation``.
+  The column layout adds three more hazards under the same rule:
+  ``.copy()`` calls and slice-copies (each clones a hot column per
+  call) and ``for`` iteration over slot maps (attributes annotated as
+  dicts, or ``.items()``/``.keys()``/``.values()`` views) — slot-keyed
+  state is meant to be walked through the rings and flat columns.
 
 A finding is waived by a trailing ``# repro: allow-<rule>`` comment on
 the offending line — e.g. the benchmark driver's timing reads carry
@@ -71,6 +76,13 @@ ORDERING_WRAPPERS = {"sorted", "min", "max", "sum", "len", "any", "all",
 
 SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "MutableSet",
                   "AbstractSet"}
+
+#: Annotation names the ``hot-path-allocation`` rule treats as dicts
+#: (slot maps: dep->waiters, lq_id->entry...).  Iterating one inside a
+#: ``# repro: hot`` function walks the map per call — the column/ring
+#: scan is the layout the engine closures are supposed to use.
+DICT_TYPE_NAMES = {"dict", "Dict", "defaultdict", "DefaultDict",
+                   "OrderedDict", "Mapping", "MutableMapping"}
 
 #: Packages whose classes live on the per-cycle path: every simulated
 #: cycle allocates/touches their instances, so they must declare
@@ -146,6 +158,16 @@ def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
     return name is not None and name.split(".")[-1] in SET_TYPE_NAMES
 
 
+def _annotation_is_dict(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = _dotted(node)
+    return name is not None and name.split(".")[-1] in DICT_TYPE_NAMES
+
+
 def _annotation_allows_none(annotation: ast.AST) -> bool:
     text = ast.unparse(annotation)
     return ("Optional" in text or "None" in text or "Any" in text
@@ -165,20 +187,31 @@ class _SetRegistry:
     def __init__(self) -> None:
         self._set_attrs: Set[str] = set()
         self._nonset_attrs: Set[str] = set()
+        self._dict_attrs: Set[str] = set()
+        self._nondict_attrs: Set[str] = set()
         self.set_returning: Set[str] = set()
 
     def is_set_attr(self, name: str) -> bool:
         return name in self._set_attrs and name not in self._nonset_attrs
 
+    def is_dict_attr(self, name: str) -> bool:
+        """Attribute known (by annotation, unambiguously) to be a dict —
+        the slot maps the ``hot-path-allocation`` iteration check
+        targets."""
+        return name in self._dict_attrs \
+            and name not in self._nondict_attrs
+
     def scan(self, tree: ast.AST) -> None:
         for node in ast.walk(tree):
             if isinstance(node, ast.AnnAssign):
                 target = node.target
-                bucket = (self._set_attrs
-                          if _annotation_is_set(node.annotation)
-                          else self._nonset_attrs)
                 if isinstance(target, ast.Attribute):
-                    bucket.add(target.attr)
+                    (self._set_attrs
+                     if _annotation_is_set(node.annotation)
+                     else self._nonset_attrs).add(target.attr)
+                    (self._dict_attrs
+                     if _annotation_is_dict(node.annotation)
+                     else self._nondict_attrs).add(target.attr)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
                     and _annotation_is_set(node.returns):
                 self.set_returning.add(node.name)
@@ -271,7 +304,12 @@ class _Linter(ast.NodeVisitor):
         """Flag per-call container/closure construction inside a
         function marked ``# repro: hot``.  Nested functions are flagged
         as a whole (the def itself allocates a closure every call) and
-        not descended into."""
+        not descended into.  Beyond the display/comprehension kinds,
+        three column-layout hazards are flagged: ``.copy()`` calls and
+        slice-copies (both clone a hot column per call) and ``for``
+        iteration over slot maps (dict-annotated attributes or
+        ``.items()``/``.keys()``/``.values()`` views) — the ring/column
+        scan is the supported walk."""
         stack = list(node.body)
         while stack:
             child = stack.pop()
@@ -286,7 +324,50 @@ class _Linter(ast.NodeVisitor):
                 if isinstance(child, (ast.FunctionDef,
                                       ast.AsyncFunctionDef, ast.Lambda)):
                     continue
+            elif isinstance(child, ast.Call) \
+                    and isinstance(child.func, ast.Attribute) \
+                    and child.func.attr == "copy" and not child.args:
+                self._emit(
+                    child, "hot-path-allocation",
+                    f"{ast.unparse(child.func.value)}.copy() inside "
+                    f"'# repro: hot' function {node.name}() clones a "
+                    f"container per call; hoist it into the closure "
+                    f"maker or waive with "
+                    f"# repro: allow-hot-path-allocation")
+            elif isinstance(child, ast.Subscript) \
+                    and isinstance(child.slice, ast.Slice) \
+                    and isinstance(child.ctx, ast.Load):
+                self._emit(
+                    child, "hot-path-allocation",
+                    f"slice-copy {ast.unparse(child)} inside "
+                    f"'# repro: hot' function {node.name}() allocates "
+                    f"a fresh list per call; index the column in place "
+                    f"or waive with # repro: allow-hot-path-allocation")
+            elif isinstance(child, ast.For):
+                self._check_hot_dict_iteration(node, child)
             stack.extend(ast.iter_child_nodes(child))
+
+    def _check_hot_dict_iteration(self, func, loop: ast.For) -> None:
+        iterable = loop.iter
+        if isinstance(iterable, ast.Call) \
+                and isinstance(iterable.func, ast.Attribute) \
+                and iterable.func.attr in ("items", "keys", "values") \
+                and not iterable.args:
+            self._emit(
+                iterable, "hot-path-allocation",
+                f"dict iteration over "
+                f"{ast.unparse(iterable)} inside '# repro: hot' "
+                f"function {func.name}() walks a slot map per call; "
+                f"scan the ring/columns instead or waive with "
+                f"# repro: allow-hot-path-allocation")
+        elif isinstance(iterable, ast.Attribute) \
+                and self.registry.is_dict_attr(iterable.attr):
+            self._emit(
+                iterable, "hot-path-allocation",
+                f"dict iteration over {ast.unparse(iterable)} inside "
+                f"'# repro: hot' function {func.name}() walks a slot "
+                f"map per call; scan the ring/columns instead or waive "
+                f"with # repro: allow-hot-path-allocation")
 
     # -- hot-path __slots__ --------------------------------------------
 

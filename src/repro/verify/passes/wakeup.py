@@ -44,14 +44,24 @@ from repro.verify.passes.callgraph import CallGraph, FunctionNode
 WAKE_SCOPED_PACKAGES = {"core", "mem", "pinning", "security"}
 
 #: scalar attributes whose assignment can move a core's wake condition
-WAKE_SCALAR_ATTRS = {"mcv_safe", "pinned", "vp_cycle", "parked"}
+#: (``_vp_candidates`` is the counter that gates the specialized VP walk
+#: — it replaced the old ``_vp_frontier`` dict in checkpoint format 4)
+WAKE_SCALAR_ATTRS = {"mcv_safe", "pinned", "vp_cycle", "parked",
+                     "_vp_candidates"}
 
 #: container attributes whose membership feeds quiet_until / the VP walk
 WAKE_CONTAINER_ATTRS = {
-    "_vp_frontier", "unresolved_branches", "unknown_addr_stores",
+    "unresolved_branches", "unknown_addr_stores",
     "unknown_addr_memops", "unretired_loads", "serializing",
     "_output_roots", "_live_lq", "_pinned_counts",
 }
+
+#: wake-relevant bits of the struct-of-arrays ``ColumnState.flags``
+#: column: a read-modify-write store of one of these constants into a
+#: subscripted column (``flags[slot] |= FLAG_VP_CAND``) moves the same
+#: wake condition the scalar attribute spellings above do
+WAKE_FLAG_CONSTANTS = {"FLAG_PINNED", "FLAG_MCV_SAFE", "FLAG_VP_CAND",
+                       "FLAG_PARKED"}
 
 #: method calls that mutate a container
 CONTAINER_MUTATORS = {"add", "discard", "remove", "pop", "clear",
@@ -111,6 +121,14 @@ def _container_target(node: ast.AST) -> Optional[str]:
     return None
 
 
+def _wake_flag_in(value: ast.AST) -> Optional[str]:
+    """Wake-relevant FLAG_* constant referenced by an expression."""
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Name) and sub.id in WAKE_FLAG_CONSTANTS:
+            return sub.id
+    return None
+
+
 def _collect_sites(file: SourceFile) -> List[_MutationSite]:
     sites: List[_MutationSite] = []
     assert file.tree is not None
@@ -129,6 +147,15 @@ def _collect_sites(file: SourceFile) -> List[_MutationSite]:
                         sites.append(_MutationSite(
                             file, node,
                             f"item assignment into .{container}"))
+                    elif isinstance(node, ast.AugAssign):
+                        # flags[slot] |= FLAG_X / &= ~FLAG_X: the
+                        # struct-of-arrays spelling of the scalar
+                        # attribute stores above
+                        flag = _wake_flag_in(node.value)
+                        if flag is not None:
+                            sites.append(_MutationSite(
+                                file, node,
+                                f"flag-column store of {flag}"))
         elif isinstance(node, ast.Delete):
             for target in node.targets:
                 if isinstance(target, ast.Subscript):

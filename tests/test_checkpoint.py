@@ -101,6 +101,27 @@ class TestRoundTripEveryScheme:
         resumed.run()
         assert collect_result(resumed).to_dict() == expected
 
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES), ids=sorted(SCHEMES))
+    def test_chaos_resume_is_bit_identical(self, scheme):
+        """The chaos round trip must hold per scheme, not just on one
+        cell: each defense family checkpoints different column state
+        (taint roots, pin tables, invisible buffers), and all of it has
+        to coexist with the chaos RNG/backoff state in the v4 format."""
+        workload = small_workload(500)
+        config = dataclasses.replace(
+            SCHEMES[scheme],
+            chaos=ChaosConfig(seed=11, wb_spike_interval=150))
+        reference = _run_fresh(config, workload)
+        expected = collect_result(reference).to_dict()
+        paused = System(config, workload)
+        paused.mem.warm(workload)
+        paused.run(stop_cycle=max(1, reference.cycles // 3))
+        assert not paused.done
+        resumed = restore_system(snapshot_system(paused))
+        resumed.run()
+        assert resumed.done
+        assert collect_result(resumed).to_dict() == expected
+
     def test_multithreaded_round_trip(self):
         workload = parallel_workload("radix", num_threads=2,
                                      instructions_per_thread=250)
@@ -193,6 +214,26 @@ class TestCheckpointFiles:
                              "cycle": 0, "system": None})
         with pytest.raises(CheckpointError):
             restore_system(blob)
+
+    def test_v3_blob_is_refused_with_versions_named(self):
+        """A pre-column (format 3) checkpoint is refused outright — no
+        silent migration of per-uop handle state into columns — and the
+        error names both versions so the operator knows it is a format
+        gap, not corruption."""
+        blob = pickle.dumps({"format": 3, "cycle": 120, "system": None})
+        with pytest.raises(CheckpointError) as excinfo:
+            restore_system(blob)
+        message = str(excinfo.value)
+        assert "3" in message
+        assert str(CHECKPOINT_FORMAT_VERSION) in message
+
+    def test_v3_file_is_refused(self, tmp_path):
+        path = str(tmp_path / "old-format.ckpt")
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps({"format": 3, "cycle": 120,
+                                   "system": None}))
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path)
 
     def test_missing_file_is_refused(self, tmp_path):
         with pytest.raises(CheckpointError):

@@ -216,6 +216,69 @@ class TestHotPathAllocation:
                   "  # repro: allow-hot-path-allocation\n")
         assert lint_source(source) == []
 
+    def test_copy_call_flagged(self):
+        source = ("def tick(flags):  # repro: hot\n"
+                  "    snapshot = flags.copy()\n"
+                  "    return snapshot\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["hot-path-allocation"]
+        assert "flags.copy()" in findings[0].message
+
+    def test_slice_copy_flagged(self):
+        source = ("def tick(col, head, tail):  # repro: hot\n"
+                  "    window = col[head:tail]\n"
+                  "    return window\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["hot-path-allocation"]
+        assert "slice-copy" in findings[0].message
+
+    def test_slice_store_and_delete_ok(self):
+        # compaction writes (``wl[w:] = []``-style del) are in-place
+        # mutations of the column, not per-call copies
+        source = ("def tick(wl, w):  # repro: hot\n"
+                  "    del wl[w:]\n"
+                  "    wl[0] = 1\n")
+        assert lint_source(source) == []
+
+    def test_dict_view_iteration_flagged(self):
+        source = ("def tick(waiters):  # repro: hot\n"
+                  "    for dep, entries in waiters.items():\n"
+                  "        entries.clear()\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["hot-path-allocation"]
+        assert "slot map" in findings[0].message
+
+    def test_dict_attr_iteration_flagged(self):
+        # the attribute is known to be a dict from its annotation
+        # elsewhere in the linted tree
+        source = ("from typing import Dict, List\n"
+                  "class Core:\n"
+                  "    def __init__(self):\n"
+                  "        self._waiters: Dict[int, List[int]] = {}\n"
+                  "    def tick(self):  # repro: hot\n"
+                  "        for dep in self._waiters:\n"
+                  "            pass\n")
+        findings = lint_source(source)
+        assert rules_of(findings) == ["hot-path-allocation"]
+        assert "_waiters" in findings[0].message
+
+    def test_ring_iteration_ok(self):
+        # list/ring walks are the supported layout; no dict in sight
+        source = ("def tick(ring, qmask, head, tail):  # repro: hot\n"
+                  "    for pos in range(head, tail):\n"
+                  "        entry = ring[pos & qmask]\n")
+        assert lint_source(source) == []
+
+    def test_copy_and_dict_iteration_waivable(self):
+        source = ("def tick(flags, waiters):  # repro: hot\n"
+                  "    snap = flags.copy()"
+                  "  # repro: allow-hot-path-allocation\n"
+                  "    for dep in waiters.items():"
+                  "  # repro: allow-hot-path-allocation\n"
+                  "        pass\n"
+                  "    return snap\n")
+        assert lint_source(source) == []
+
 
 class TestWaivers:
     def test_waiver_suppresses_rule_on_its_line(self):

@@ -268,8 +268,9 @@ class TestCheckpointSafetyMutation:
         assert clean.findings == [], clean.render_text()
         lsq = root / "core" / "lsq.py"
         lsq.write_text(lsq.read_text().replace(
-            '__slots__ = ("capacity", "_loads")',
-            '__slots__ = ("capacity", "_loads", "_extra")', 1))
+            '__slots__ = ("capacity", "_ring", "_qmask", "_head", "_tail")',
+            '__slots__ = ("capacity", "_ring", "_qmask", "_head", "_tail",\n'
+            '                 "_extra")', 1))
         report = analyze_clean([root], passes=["checkpoint-safety"],
                                manifest_path=manifest)
         assert any(f.rule == "checkpoint-manifest"
@@ -302,8 +303,9 @@ class TestCheckpointSafetyMutation:
         write_manifest(load_sources([root]), manifest)
         lsq = root / "core" / "lsq.py"
         lsq.write_text(lsq.read_text().replace(
-            '__slots__ = ("capacity", "_loads")',
-            '__slots__ = ("capacity", "_loads", "_extra")', 1))
+            '__slots__ = ("capacity", "_ring", "_qmask", "_head", "_tail")',
+            '__slots__ = ("capacity", "_ring", "_qmask", "_head", "_tail",\n'
+            '                 "_extra")', 1))
         ckpt = root / "sim" / "checkpoint.py"
         ckpt.write_text(ckpt.read_text().replace(
             "CHECKPOINT_FORMAT_VERSION = 3",
