@@ -13,6 +13,8 @@ Commands:
   ``lint``, ``analyze``); see ``docs/verification.md``
 * ``chaos``      — the seeded fault-injection campaign (N seeds per
   cell must be architecturally identical); see ``docs/resilience.md``
+* ``attack``     — the adversarial leakage campaign (per-scheme,
+  per-attack-class verdict matrix); see ``docs/security.md``
 * ``serve``      — the crash-tolerant job service (durable journal,
   admission control, graceful drain); see ``docs/resilience.md``
 * ``submit``     — submit one job to a running service and (optionally)
@@ -429,6 +431,44 @@ def _cmd_chaos(args) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_attack(args) -> int:
+    import json
+
+    from repro.security.campaign import (format_report, matrix_artifact,
+                                         run_campaign)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()] \
+        if args.schemes else None
+    classes = [c.strip() for c in args.classes.split(",") if c.strip()] \
+        if args.classes else None
+    try:
+        report = run_campaign(
+            scheme_names=schemes, attack_names=classes,
+            seeds=args.seeds, jobs=args.jobs,
+            self_test=not args.no_self_test,
+            service_url=args.service or None)
+    except ValueError as error:
+        raise SystemExit(f"repro attack: {error}")
+    except (ConnectionError, TimeoutError) as error:
+        raise SystemExit(f"repro attack: service at {args.service} "
+                         f"unreachable: {error}")
+    except Exception as error:  # noqa: B902 - the distinct-exit contract
+        print(f"repro attack: internal error: "
+              f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(matrix_artifact(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"matrix        : {args.out}")
+    return 0 if report["passed"] else 1
+
+
 def _cmd_serve(args) -> int:
     import logging
 
@@ -704,6 +744,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run campaign cells through a live "
                          "`repro serve` instance at URL")
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    attack_p = sub.add_parser(
+        "attack", help="adversarial leakage campaign (per-scheme x "
+        "per-attack-class verdict matrix)")
+    attack_p.add_argument("--seeds", type=int, default=2,
+                          help="address-randomization seeds per cell "
+                          "(verdicts must agree across all of them)")
+    attack_p.add_argument("--schemes", default="",
+                          help="comma-separated schemes (default: unsafe "
+                          "plus the full 12-cell defense grid)")
+    attack_p.add_argument("--classes", default="",
+                          help="comma-separated attack classes (default: "
+                          "all four)")
+    attack_p.add_argument("--jobs", type=int, default=1,
+                          help="parallel workers (bit-identical to "
+                          "--jobs 1)")
+    attack_p.add_argument("--out", default="",
+                          help="write the canonical leakage-matrix JSON "
+                          "artifact here")
+    attack_p.add_argument("--no-self-test", action="store_true",
+                          help="skip the weakened-defense mutant "
+                          "self-tests")
+    attack_p.add_argument("--json", action="store_true",
+                          help="print the full JSON report to stdout "
+                          "instead of the human-readable summary")
+    attack_p.add_argument("--service", default="", metavar="URL",
+                          help="run oracle cells through a live "
+                          "`repro serve` instance at URL (mutant "
+                          "self-tests stay local)")
+    attack_p.set_defaults(func=_cmd_attack)
 
     serve_p = sub.add_parser(
         "serve", help="crash-tolerant job service (journal + admission "

@@ -159,6 +159,19 @@ class PinnedLoadsParams:
 #: the campaign can prove it would catch a real bug (``repro chaos``).
 CHAOS_MUTATIONS = ("evict-pinned",)
 
+#: Test-only defense weakenings for the leakage oracle's mutant
+#: self-test (``repro attack``): each one disables the very mechanism a
+#: scheme relies on to block a covert channel, and a correct oracle MUST
+#: flip that scheme's verdict to "leaks".
+#:
+#: * ``dom-leaky-miss`` — Delay-On-Miss stops delaying: pre-VP loads
+#:   issue normally even on an L1 miss, re-opening the cache-fill
+#:   channel DOM exists to close.
+#: * ``stt-blind-taint`` — STT ignores its taint tracker: tainted-
+#:   address loads issue pre-VP, re-opening the secret-dependent-address
+#:   channel.
+DEFENSE_MUTATIONS = ("dom-leaky-miss", "stt-blind-taint")
+
 
 @dataclass(frozen=True)
 class ChaosConfig:
@@ -270,6 +283,11 @@ class SystemConfig:
     #: timing (jitter, NACKs, forced evictions, write-buffer spikes)
     #: without changing architectural outcomes.
     chaos: Optional[ChaosConfig] = None
+    #: Test-only defense weakening (``DEFENSE_MUTATIONS``) for the
+    #: leakage oracle's mutant self-test.  Empty in every real
+    #: configuration; a mutated config is ineligible for the
+    #: specialized engine so the weakened scheme hook is always honored.
+    defense_mutation: str = ""
 
     @property
     def num_slices(self) -> int:
@@ -286,6 +304,11 @@ class SystemConfig:
         self.pinning.validate()
         if self.chaos is not None:
             self.chaos.validate()
+        if self.defense_mutation \
+                and self.defense_mutation not in DEFENSE_MUTATIONS:
+            raise ConfigError(
+                f"unknown defense mutation {self.defense_mutation!r}; "
+                f"choose from {DEFENSE_MUTATIONS}")
         if (self.pinning.mode is not PinningMode.NONE
                 and self.threat_model is not COMPREHENSIVE):
             raise ConfigError(
@@ -312,6 +335,10 @@ class SystemConfig:
         data["defense"] = self.defense.value
         data["threat_model"] = self.threat_model.name
         data["pinning"]["mode"] = self.pinning.mode.value
+        if not data["defense_mutation"]:
+            # dropped when unset so every pre-existing config keeps its
+            # canonical dict (and therefore its experiment cache keys)
+            del data["defense_mutation"]
         return data
 
     @classmethod
@@ -329,4 +356,5 @@ class SystemConfig:
         data["threat_model"] = ThreatModel[data["threat_model"]]
         if data.get("chaos") is not None:
             data["chaos"] = ChaosConfig(**data["chaos"])
+        data.setdefault("defense_mutation", "")
         return cls(**data)

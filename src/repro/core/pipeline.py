@@ -79,7 +79,7 @@ class Core(CorePort):
         "_vp_active", "_wb_entries", "_width", "_rob_capacity",
         "retire_sig", "_vp_candidates", "_wake_pending",
         "_waiting_stalled", "_cols", "_flags", "_vp_col", "_slot_mask",
-        "_handles", "__dict__",
+        "_handles", "_twins", "__dict__",
     )
 
     def __init__(self, core_id: int, config: SystemConfig, trace: Trace,
@@ -134,6 +134,9 @@ class Core(CorePort):
         # hot-loop hoists: immutable facts and stable containers read
         # every cycle by ``tick`` (the columns are never reassigned)
         self._trace_len = len(trace)
+        # adversarial traces only: NOP twins for transient uops, checked
+        # with one None test per dispatched uop on ordinary traces
+        self._twins = trace.twins if trace.has_transient else None
         self._vp_active = self.scheme.gates_issue or self.taint is not None
         self._cols = self.rob.cols
         self._flags = self._cols.flags
@@ -151,7 +154,7 @@ class Core(CorePort):
     # re-materializes its columns on restore), so a checkpoint drops the
     # aliases and a restore re-hoists them from the rebuilt components.
     _DERIVED_ALIASES = ("_cols", "_flags", "_vp_col", "_slot_mask",
-                        "_handles", "_wb_entries")
+                        "_handles", "_wb_entries", "_twins")
 
     def __getstate__(self):
         dict_state, slots = object.__getstate__(self)
@@ -171,6 +174,8 @@ class Core(CorePort):
         self._slot_mask = self.rob._mask
         self._handles = self.rob._handles
         self._wb_entries = self.write_buffer._entries
+        self._twins = self.trace.twins if self.trace.has_transient \
+            else None
 
     # ------------------------------------------------------------------
     # CorePort (coherence layer callbacks)
@@ -318,6 +323,11 @@ class Core(CorePort):
         if self._cursor < self._trace_len \
                 and occupancy < self._rob_capacity:
             uop = self.trace[self._cursor]
+            if self._twins is not None and uop.guard is not None \
+                    and uop.guard in self._resolved_mispredicts:
+                # mirror the dispatch-stage twin substitution: the
+                # neutered uop is an INT_ALU and never blocks on the LQ
+                uop = self._twins[uop.index]
             if not ((uop.is_load and self.lq.full)
                     or (uop.is_store and self.sq.full)):
                 if self._fetch_resume <= cycle + 1:
@@ -826,9 +836,15 @@ class Core(CorePort):
         dispatched = 0
         trace = self.trace
         trace_len = self._trace_len
+        twins = self._twins
         while dispatched < self._width and self._cursor < trace_len \
                 and not self.rob.full:
             uop = trace[self._cursor]
+            if twins is not None and uop.guard is not None \
+                    and uop.guard in self._resolved_mispredicts:
+                # the guard resolved: the correct path never contained
+                # this uop — every replay dispatches its NOP twin
+                uop = twins[uop.index]
             if uop.is_load and self.lq.full:
                 break
             if uop.is_store and self.sq.full:

@@ -8,16 +8,32 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro.isa.uops import MicroOp, OpClass
 
 
+#: op classes a transient (wrong-path) uop may have: wrong-path work is
+#: loads and the arithmetic feeding their addresses — never stores,
+#: branches, or serializing ops, which would perturb architectural state
+TRANSIENT_CLASSES = frozenset({OpClass.LOAD, OpClass.INT_ALU,
+                               OpClass.FP_ALU})
+
+
 class Trace:
     """An immutable per-thread instruction sequence.
 
     The core keeps a cursor into the trace; a squash simply rewinds the
     cursor, so the same ``Trace`` serves replay for free.
+
+    **Transient uops.**  A uop with ``guard=g`` exists only on the wrong
+    path of the mispredicted branch at index ``g``: it dispatches and
+    executes normally until the guard resolves, after which every replay
+    dispatches its precomputed architectural *NOP twin* (an INT_ALU uop
+    with the same index and deps but no address) instead.  The twins are
+    built here, once, so dispatch-time substitution is a dict lookup and
+    squash-and-replay still re-dispatches stable uop objects.
     """
 
     # __weakref__ so derived views (repro.isa.compiled) can memoize per
     # trace without keeping it alive
-    __slots__ = ("_uops", "name", "__weakref__")
+    __slots__ = ("_uops", "name", "twins", "has_transient",
+                 "probe_indices", "__weakref__")
 
     def __init__(self, uops: Sequence[MicroOp], name: str = "trace") -> None:
         self._uops: List[MicroOp] = list(uops)
@@ -26,6 +42,38 @@ class Trace:
             if uop.index != position:
                 raise ValueError(
                     f"uop at position {position} has index {uop.index}")
+        self.twins: Dict[int, MicroOp] = {}
+        self.probe_indices = tuple(
+            uop.index for uop in self._uops if uop.probe)
+        for uop in self._uops:
+            if uop.guard is None:
+                # architectural uops must not consume wrong-path values
+                for dep in uop.deps + uop.data_deps:
+                    if self._uops[dep].guard is not None:
+                        raise ValueError(
+                            f"architectural uop {uop.index} depends on "
+                            f"transient uop {dep}")
+                continue
+            if uop.opclass not in TRANSIENT_CLASSES:
+                raise ValueError(
+                    f"transient uop {uop.index} has op class "
+                    f"{uop.opclass}; only loads and ALU ops may be "
+                    f"transient")
+            g = self._uops[uop.guard]
+            if not (g.is_branch and g.mispredicted):
+                raise ValueError(
+                    f"uop {uop.index} guarded by {uop.guard}, which is "
+                    f"not a mispredicted branch")
+            for dep in uop.deps:
+                dep_guard = self._uops[dep].guard
+                if dep_guard is not None and dep_guard != uop.guard:
+                    raise ValueError(
+                        f"transient uop {uop.index} (guard {uop.guard}) "
+                        f"depends on uop {dep} under a different guard "
+                        f"{dep_guard}")
+            self.twins[uop.index] = MicroOp(uop.index, OpClass.INT_ALU,
+                                            deps=uop.deps)
+        self.has_transient = bool(self.twins)
 
     def __len__(self) -> int:
         return len(self._uops)
@@ -81,6 +129,10 @@ class Workload:
                     record = (uop.index, uop.opclass.value, uop.deps,
                               uop.data_deps, uop.addr, uop.mispredicted,
                               uop.barrier_id)
+                    if uop.guard is not None or uop.probe:
+                        # appended only when set so every pre-existing
+                        # trace keeps its fingerprint (and cache keys)
+                        record = record + (uop.guard, uop.probe)
                     digest.update(repr(record).encode())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint

@@ -43,17 +43,29 @@ class MicroOp:
         mispredicted: for branches, whether the predictor got it wrong
             (resolving such a branch squashes all younger uops).
         barrier_id: for BARRIER uops, which global rendezvous this is.
+        guard: index of an older *mispredicted* branch this uop is
+            transient under.  A guarded uop exists only on the wrong
+            path: it dispatches and executes normally until the guard
+            resolves, then every replay dispatches its architectural
+            NOP twin instead (``Trace.twins``) — the correct path never
+            contained it.  Adversarial traces use this to model
+            secret-dependent transient accesses (``repro.security.attacks``).
+        probe: marks an architectural load whose per-access timing the
+            result collector exports (``SimResult.probes``) — the
+            attacker's stopwatch in leakage experiments.
     """
 
     __slots__ = ("index", "opclass", "deps", "data_deps", "addr",
-                 "mispredicted", "barrier_id")
+                 "mispredicted", "barrier_id", "guard", "probe")
 
     def __init__(self, index: int, opclass: OpClass,
                  deps: Tuple[int, ...] = (),
                  addr: Optional[int] = None,
                  mispredicted: bool = False,
                  barrier_id: Optional[int] = None,
-                 data_deps: Tuple[int, ...] = ()) -> None:
+                 data_deps: Tuple[int, ...] = (),
+                 guard: Optional[int] = None,
+                 probe: bool = False) -> None:
         for dep in tuple(deps) + tuple(data_deps):
             if dep >= index:
                 raise ValueError(
@@ -62,6 +74,14 @@ class MicroOp:
             raise ValueError(f"{opclass} uop requires an address")
         if data_deps and opclass is not OpClass.STORE:
             raise ValueError("data_deps are only meaningful for stores")
+        if guard is not None and guard >= index:
+            raise ValueError(
+                f"uop {index} guarded by non-older branch {guard}")
+        if probe and opclass is not OpClass.LOAD:
+            raise ValueError("only loads can be timing probes")
+        if probe and guard is not None:
+            raise ValueError("probes are architectural; transient uops "
+                             "cannot be probes")
         self.index = index
         self.opclass = opclass
         self.deps = tuple(deps)
@@ -69,6 +89,8 @@ class MicroOp:
         self.addr = addr
         self.mispredicted = mispredicted
         self.barrier_id = barrier_id
+        self.guard = guard
+        self.probe = probe
 
     @property
     def is_load(self) -> bool:
@@ -96,5 +118,9 @@ class MicroOp:
             extra = f" addr=0x{self.addr:x}"
         if self.mispredicted:
             extra += " mispred"
+        if self.guard is not None:
+            extra += f" guard={self.guard}"
+        if self.probe:
+            extra += " probe"
         return (f"MicroOp(#{self.index} {self.opclass.value}"
                 f" deps={list(self.deps)}{extra})")

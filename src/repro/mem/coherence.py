@@ -125,17 +125,23 @@ class CoherentMemory:
         are warmed: a line touched exactly once is a compulsory miss and
         must stay cold — streaming workloads pay DRAM latency for it, as
         they would on real hardware.
+
+        Transient (guarded) uops are skipped: they exist only on the
+        wrong path, so warming from them would make the *starting* cache
+        state depend on wrong-path (secret-dependent) addresses — the
+        leakage oracle requires any such perturbation to come from the
+        timed run itself, never from warm-up.
         """
         counts: Dict[int, int] = {}
         for trace in workload.traces:
             for uop in trace:
-                if uop.addr is not None:
+                if uop.addr is not None and uop.guard is None:
                     line = uop.addr >> 6
                     counts[line] = counts.get(line, 0) + 1
         for core_id, trace in enumerate(workload.traces):
             l1 = self.l1s[core_id]
             for uop in trace:
-                if uop.addr is None:
+                if uop.addr is None or uop.guard is not None:
                     continue
                 line = uop.addr >> 6
                 if counts[line] > 1:

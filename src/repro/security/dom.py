@@ -13,10 +13,19 @@ class DelayOnMissScheme(DefenseScheme):
     full VP wait — the behaviour the paper highlights for bwaves/fotonik3d.
     """
 
-    __slots__ = ()
+    __slots__ = ("_leaky",)
 
     name = "dom"
 
+    def __init__(self, core) -> None:
+        super().__init__(core)
+        # leakage-oracle mutant (DEFENSE_MUTATIONS): pre-VP misses stop
+        # being delayed, so the attack campaign's self-test can assert
+        # the oracle flips DOM's verdict to "leaks"
+        self._leaky = core.config.defense_mutation == "dom-leaky-miss"
+
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        if self._leaky:
+            return True
         core = self.core
         return core.mem.l1_hit(core.core_id, entry.line)

@@ -12,9 +12,18 @@ class STTScheme(DefenseScheme):
     when the producing load reaches its VP — which is exactly the event
     Pinned Loads accelerates (paper §3.1)."""
 
-    __slots__ = ()
+    __slots__ = ("_blind",)
 
     name = "stt"
 
+    def __init__(self, core) -> None:
+        super().__init__(core)
+        # leakage-oracle mutant (DEFENSE_MUTATIONS): taint queries are
+        # ignored, so the attack campaign's self-test can assert the
+        # oracle flips STT's verdict to "leaks"
+        self._blind = core.config.defense_mutation == "stt-blind-taint"
+
     def may_issue_pre_vp(self, entry: ROBEntry) -> bool:
+        if self._blind:
+            return True
         return not self.core.taint.addr_tainted(entry)

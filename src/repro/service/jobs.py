@@ -33,14 +33,46 @@ PRIORITY_DEFAULT = 5
 PRIORITY_BULK = 10
 
 
+def _build_attack_cell(workload_name: str,
+                       scheme: str) -> Tuple[SystemConfig, Workload]:
+    """Resolve an ``attack:<class>:s<secret>:seed<k>`` workload name.
+
+    Attack variants are fixed-content adversarial traces
+    (``repro.security.attacks``): the name pins everything, so the
+    spec's ``instructions``/``threads`` knobs do not apply (they are
+    deliberately ignored — the cache identity is content-addressed and
+    two specs naming the same variant share one job regardless).
+    """
+    from repro.security.attacks import attack_cell
+    parts = workload_name.split(":")
+    usage = ("attack workload names look like "
+             "'attack:<class>:s<0|1>:seed<k>'")
+    if len(parts) != 4 or not parts[2].startswith("s") \
+            or not parts[3].startswith("seed"):
+        raise BadRequestError(f"malformed workload {workload_name!r}; "
+                              f"{usage}")
+    try:
+        secret = int(parts[2][1:])
+        seed = int(parts[3][len("seed"):])
+    except ValueError:
+        raise BadRequestError(f"malformed workload {workload_name!r}; "
+                              f"{usage}")
+    try:
+        return attack_cell(parts[1], secret, seed, scheme)
+    except ValueError as err:
+        raise BadRequestError(str(err))
+
+
 def build_cell(workload_name: str, instructions: int, threads: int,
                scheme: str) -> Tuple[SystemConfig, Workload]:
     """Deterministically build one (config, workload) cell from names.
 
     The single source of truth for turning CLI/service-level cell names
-    into simulator objects — `repro run`, the chaos campaign, and the
-    job service all resolve cells through here.
+    into simulator objects — `repro run`, the chaos campaign, the attack
+    campaign, and the job service all resolve cells through here.
     """
+    if workload_name.startswith("attack:"):
+        return _build_attack_cell(workload_name, scheme)
     if workload_name in SPEC17_NAMES:
         base: SystemConfig = SystemConfig()
         workload = spec17_workload(workload_name,

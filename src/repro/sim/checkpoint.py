@@ -68,7 +68,11 @@ from repro.isa.trace import Workload
 #: work-lists are index lists, and the VP frontier dict became a flag
 #: column plus counter.  v3 object-per-entry checkpoints no longer
 #: restore (no silent migration; re-run from the trace instead).
-CHECKPOINT_FORMAT_VERSION = 4
+#: 5: adversarial-trace support — ``MicroOp`` grew ``guard``/``probe``
+#: slots, ``Trace`` its NOP-twin table (twins join the externalized
+#: immutable graph below), and the DOM/STT schemes their mutation
+#: flags.  v4 checkpoints no longer restore.
+CHECKPOINT_FORMAT_VERSION = 5
 
 #: Per-workload memo of the serialized immutable part and the
 #: ``id(object) -> persistent id`` table.  Weak keys: the memo must not
@@ -88,6 +92,8 @@ def _immutable_part(workload: Workload) -> Tuple[bytes, Dict[int, tuple]]:
             table[id(trace)] = ("trace", t)  # repro: allow-id-ordering
             for i, uop in enumerate(trace):
                 table[id(uop)] = ("uop", t, i)  # repro: allow-id-ordering
+            for i, twin in trace.twins.items():
+                table[id(twin)] = ("twin", t, i)  # repro: allow-id-ordering
         blob = pickle.dumps(workload, protocol=pickle.HIGHEST_PROTOCOL)
         memo = (blob, table)
         _IMMUTABLE_MEMO[workload] = memo
@@ -116,6 +122,8 @@ class _StateUnpickler(pickle.Unpickler):
         kind = pid[0]
         if kind == "uop":
             return self._workload.traces[pid[1]][pid[2]]
+        if kind == "twin":
+            return self._workload.traces[pid[1]].twins[pid[2]]
         if kind == "trace":
             return self._workload.traces[pid[1]]
         if kind == "workload":

@@ -1229,9 +1229,20 @@ def build_engine(system) -> Optional[SpecializedEngine]:
     """Compile a specialized engine for ``system``, or ``None`` when the
     system must stay on the generic loop (sanitizer attached — it
     shadows ``Core.tick`` through the instance dict — or a defense
-    outside the specialized families)."""
+    outside the specialized families).
+
+    Adversarial traces (any transient uop) and mutated defenses
+    (``SystemConfig.defense_mutation``) also stay generic: the NOP-twin
+    substitution and the weakened scheme hooks live in ``Core``'s
+    dispatch/issue methods, which the compiled closures bypass.  Both
+    are security-evaluation paths (``repro attack``), never performance
+    cells, so they cost the specialization nothing."""
     if system.sanitizer is not None:
         return None
     if system.config.defense not in SPECIALIZED_DEFENSES:
+        return None
+    if system.config.defense_mutation:
+        return None
+    if any(trace.has_transient for trace in system.workload.traces):
         return None
     return SpecializedEngine(system)

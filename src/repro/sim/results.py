@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 from repro.common.params import SystemConfig
 
@@ -20,6 +20,12 @@ class SimResult:
     mem_stats: Dict[str, float] = field(default_factory=dict)
     network_stats: Dict[str, float] = field(default_factory=dict)
     pinning_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Per-core timing of the trace's probe loads (``MicroOp.probe``):
+    #: ``{core_id: [{"index", "line", "dispatch", "complete"}, ...]}``.
+    #: ``None`` (a plain default, NOT a factory, so records pickled
+    #: before this field existed still unpickle — the class attribute
+    #: fills in) for ordinary traces without probes.
+    probes: Optional[Dict[int, List[Dict[str, int]]]] = None
 
     @property
     def cpi(self) -> float:
@@ -50,7 +56,7 @@ class SimResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable dict (see ``from_dict``); used by the
         persistent experiment cache (``repro.sim.executor``)."""
-        return {
+        doc = {
             "workload_name": self.workload_name,
             "config": self.config.to_dict(),
             "cycles": self.cycles,
@@ -61,6 +67,11 @@ class SimResult:
             "pinning_stats": {str(k): v
                               for k, v in self.pinning_stats.items()},
         }
+        if self.probes is not None:
+            # emitted only for probing (attack) traces, so every
+            # pre-existing stored document keeps its checksum
+            doc["probes"] = {str(k): v for k, v in self.probes.items()}
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
@@ -76,6 +87,8 @@ class SimResult:
             network_stats=data["network_stats"],
             pinning_stats={int(k): v
                            for k, v in data["pinning_stats"].items()},
+            probes=({int(k): v for k, v in data["probes"].items()}
+                    if data.get("probes") is not None else None),
         )
 
     def describe(self) -> str:

@@ -60,6 +60,32 @@ def collect_result(system: System) -> SimResult:
         stats["cpt_mean_occupancy"] = controller.cpt.mean_occupancy
         stats["cpt_max_occupancy"] = controller.cpt.max_occupancy
         stats["cpt_overflow_rate"] = controller.cpt.overflow_rate
+    # probe timing for adversarial traces: each probe load's dispatch
+    # and completion cycles read from the ROB columns.  Attack traces
+    # place probes in the final ROB window (asserted here), where the
+    # column slots can no longer have been overwritten by younger uops.
+    if any(trace.probe_indices for trace in workload.traces):
+        probes: Dict[int, list] = {}
+        for core in system.cores:
+            cols = core.rob.cols
+            mask = core.rob._mask
+            records = []
+            for index in core.trace.probe_indices:
+                if index + core.rob.capacity < len(core.trace):
+                    raise ValueError(
+                        f"probe {index} outside the final ROB window of "
+                        f"trace {core.trace.name!r}; its timing columns "
+                        f"were recycled")
+                slot = index & mask
+                uop = core.trace[index]
+                records.append({
+                    "index": index,
+                    "line": uop.addr >> 6,
+                    "dispatch": cols.dispatch_cycle[slot],
+                    "complete": cols.complete_cycle[slot],
+                })
+            probes[core.core_id] = records
+        result.probes = probes
     return result
 
 

@@ -18,6 +18,13 @@ set-iteration) with the hazards that slipped past it in review:
   ``obj.__dict__`` couples behavior to attribute insertion order, which
   is exactly the unversioned-state hazard ``__slots__`` exists to
   prevent.
+* ``entropy-source`` — ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``,
+  and the ``secrets`` module draw OS entropy by construction.  The
+  adversarial attack generator and leakage oracle
+  (``repro.security.attacks``/``oracle``) make this load-bearing: a
+  leakage verdict is the claim that two runs differing only in the
+  secret bit are bit-identical, which is only meaningful if every
+  address and payload derives from the experiment seed.
 """
 
 from __future__ import annotations
@@ -46,6 +53,9 @@ class DeterminismPass(AnalysisPass):
                            "SystemRandom is never reproducible",
         "instance-dict-iteration": "iterating vars()/__dict__ depends "
                                    "on attribute insertion order",
+        "entropy-source": "os.urandom / uuid.uuid1 / uuid.uuid4 / "
+                          "secrets.* draw OS entropy; derive values "
+                          "from the experiment seed",
     }
 
     def run(self, ctx: PassContext) -> List[Finding]:
@@ -102,6 +112,18 @@ class DeterminismPass(AnalysisPass):
                 file, node, "unseeded-random",
                 "SystemRandom is OS entropy by design and can never "
                 "reproduce; use a seeded random.Random"))
+        elif name in ("os.urandom", "urandom", "uuid.uuid1",
+                      "uuid.uuid4", "uuid1", "uuid4",
+                      "secrets.token_bytes", "secrets.token_hex",
+                      "secrets.token_urlsafe", "secrets.randbits",
+                      "secrets.randbelow", "secrets.choice",
+                      "token_bytes", "token_hex", "token_urlsafe") \
+                or (name is not None and name.startswith("secrets.")):
+            findings.append(self.finding(
+                file, node, "entropy-source",
+                f"{name}(...) draws OS entropy inside sim code; every "
+                f"address and payload must derive from the experiment "
+                f"seed"))
         return findings
 
     @staticmethod

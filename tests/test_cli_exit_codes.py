@@ -45,6 +45,64 @@ class TestChaosExitCodes:
                   "--schemes", "unsafe", "--no-checkpoint-check"])
 
 
+class TestAttackExitCodes:
+    """``repro attack``: 0 matrix matches, 1 unexpected leak/block or
+    undetected mutant, 2 tool error — distinct codes so CI can tell
+    "defense regressed" from "campaign broke"."""
+
+    ARGS = ["attack", "--seeds", "1", "--schemes", "unsafe,stt-comp",
+            "--classes", "secret_reg", "--no-self-test"]
+
+    def test_matching_matrix_exits_zero_and_emits_json(self, capsys):
+        rc = main(self.ARGS + ["--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert report["schemes"] == ["unsafe", "stt-comp"]
+        cells = {(c["attack"], c["scheme"]): c for c in report["cells"]}
+        assert cells[("secret_reg", "unsafe")]["verdict"] == "leaks"
+        assert cells[("secret_reg", "stt-comp")]["verdict"] == "leaks"
+
+    def test_out_file_is_the_canonical_matrix_artifact(self, capsys,
+                                                       tmp_path):
+        out = tmp_path / "matrix.json"
+        rc = main(self.ARGS + ["--json", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        artifact = json.loads(out.read_text())
+        assert artifact["format"] == 1
+        assert artifact["matrix"]["secret_reg"]["stt-comp"] == "leaks"
+        for cell in report["cells"]:
+            assert artifact["matrix"][cell["attack"]][cell["scheme"]] \
+                == cell["verdict"]
+
+    def test_verdict_drift_is_exit_one(self, capsys, monkeypatch):
+        from repro.security import campaign
+        monkeypatch.setattr(campaign, "expected_verdict",
+                            lambda attack, scheme: "blocks")
+        rc = main(self.ARGS)
+        assert rc == 1
+        assert "expected blocks, observed leaks" \
+            in capsys.readouterr().out
+
+    def test_bad_arguments_exit_nonzero(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["attack", "--schemes", "nosuch"])
+        with pytest.raises(SystemExit, match="unknown attack"):
+            main(["attack", "--classes", "nosuch"])
+        with pytest.raises(SystemExit, match="seeds"):
+            main(["attack", "--seeds", "0"])
+
+    def test_internal_error_is_exit_two(self, capsys, monkeypatch):
+        from repro.security import campaign
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("worker exploded")
+        monkeypatch.setattr(campaign, "run_campaign", boom)
+        rc = main(self.ARGS)
+        assert rc == 2
+        assert "internal error" in capsys.readouterr().err
+
+
 class TestVerifyExitCodes:
     def test_lint_finding_is_exit_one(self, tmp_path, capsys):
         dirty = tmp_path / "dirty.py"

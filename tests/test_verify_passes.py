@@ -231,7 +231,8 @@ class TestCheckpointSafetyMutation:
         root = copy_tree(tmp_path, "isa/trace.py")
         target = root / "isa" / "trace.py"
         text = target.read_text().replace(
-            '    __slots__ = ("_uops", "name", "__weakref__")\n\n', "", 1)
+            '    __slots__ = ("_uops", "name", "twins", "has_transient",\n'
+            '                 "probe_indices", "__weakref__")\n\n', "", 1)
         assert "_uops" not in text.split("class Trace")[1] \
             .split("def __init__")[0]
         target.write_text(text)
@@ -369,6 +370,58 @@ class TestDeterminismMutation:
         mod = tmp_path / "repro" / "workloads" / "mod.py"
         mod.parent.mkdir(parents=True)
         mod.write_text("import random\nrng = random.Random(1234)\n")
+        report = analyze_clean([tmp_path], passes=["determinism"])
+        assert report.findings == []
+
+
+class TestEntropySourceRule:
+    """``entropy-source``: the attack generator/oracle must derive every
+    address from the experiment seed — an OS-entropy source would make
+    leakage verdicts unreproducible."""
+
+    def test_head_attack_suite_is_clean(self, tmp_path):
+        root = copy_tree(tmp_path, "security/attacks.py",
+                         "security/oracle.py", "security/campaign.py")
+        report = analyze_clean([root], passes=["determinism"])
+        assert report.findings == [], report.render_text()
+
+    def test_seeded_entropy_mutation_is_caught(self, tmp_path):
+        root = copy_tree(tmp_path, "security/attacks.py")
+        target = root / "security" / "attacks.py"
+        text = target.read_text()
+        seeded = "rng = random.Random((seed << 4) ^ " \
+                 "ATTACK_CLASSES.index(attack))"
+        assert seeded in text
+        target.write_text(text.replace("import random", "import random\n"
+                                       "import os").replace(
+            seeded,
+            "rng = random.Random(int.from_bytes(os.urandom(8), 'big'))",
+            1))
+        report = analyze_clean([root], passes=["determinism"])
+        assert "entropy-source" in rules_of(report), report.render_text()
+
+    def test_every_entropy_source_shape_fires(self, tmp_path):
+        mod = tmp_path / "repro" / "security" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "import os\n"
+            "import secrets\n"
+            "import uuid\n"
+            "from secrets import token_hex\n"
+            "a = os.urandom(16)\n"
+            "b = uuid.uuid4()\n"
+            "c = uuid.uuid1()\n"
+            "d = secrets.token_bytes(8)\n"
+            "e = secrets.randbelow(10)\n"
+            "f = token_hex(4)\n")
+        report = analyze_clean([tmp_path], passes=["determinism"])
+        assert set(rules_of(report)) == {"entropy-source"}
+        assert len(report.findings) == 6
+
+    def test_out_of_scope_entropy_is_ignored(self, tmp_path):
+        mod = tmp_path / "repro" / "service" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import os\ntoken = os.urandom(16)\n")
         report = analyze_clean([tmp_path], passes=["determinism"])
         assert report.findings == []
 
